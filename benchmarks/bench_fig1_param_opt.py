@@ -1,0 +1,64 @@
+"""Fig. 1 — optimal FedProxVR parameters vs the weight factor gamma.
+
+Paper setting: L = 1, lambda = 0.5; panels show optimal beta, mu, theta,
+Theta and the (scaled) minimum training time as gamma = d_cmp/d_com
+sweeps from communication-dominated (1e-4) to compute-comparable (1).
+
+Shape checks (the paper's §4.3 observations):
+* optimal beta (and tau) decrease as gamma grows;
+* optimal mu increases as gamma grows;
+* larger sigma_bar^2 increases optimal mu and beta, decreases theta*, Theta*.
+"""
+
+import numpy as np
+
+from repro.core.param_opt import sweep_gamma
+from repro.core.theory import ProblemConstants
+
+from conftest import run_once
+
+
+GAMMAS = np.geomspace(1e-4, 1.0, 9)
+
+
+def test_fig1_parameter_sweep(benchmark, save_json):
+    constants_hom = ProblemConstants(L=1.0, lam=0.5, sigma_bar_sq=0.0)
+    constants_het = ProblemConstants(L=1.0, lam=0.5, sigma_bar_sq=2.0)
+
+    def experiment():
+        return (
+            sweep_gamma(GAMMAS, constants_hom),
+            sweep_gamma(GAMMAS, constants_het),
+        )
+
+    hom, het = run_once(benchmark, experiment)
+
+    print("\n=== Fig. 1: optimal parameters vs gamma (L=1, lambda=0.5) ===")
+    for label, sweep in (("sigma^2=0", hom), ("sigma^2=2", het)):
+        print(f"--- {label} ---")
+        for opt in sweep:
+            print("  " + opt.as_row())
+
+    # shape assertions
+    betas = [o.beta for o in hom]
+    mus = [o.mu for o in hom]
+    thetas = [o.theta for o in hom]
+    assert betas[0] > betas[-1], "optimal beta must fall as gamma rises"
+    assert mus[-1] > mus[0], "optimal mu must rise as gamma rises"
+    assert thetas[-1] > thetas[0], "optimal theta must rise as gamma rises"
+
+    # heterogeneity effects at fixed gamma
+    for o_hom, o_het in zip(hom, het):
+        assert o_het.mu > o_hom.mu
+        assert o_het.theta < o_hom.theta
+        assert o_het.federated_factor < o_hom.federated_factor
+        assert o_het.beta > o_hom.beta
+
+    save_json(
+        "fig1_param_opt",
+        {
+            "gammas": list(GAMMAS),
+            "sigma0": [vars(o) for o in hom],
+            "sigma2": [vars(o) for o in het],
+        },
+    )

@@ -1,0 +1,55 @@
+"""Micro-benchmark: sequential vs thread-pool client execution.
+
+Semantics are identical (asserted by the test suite); this bench
+measures the wall-clock effect of running clients concurrently when the
+gradient work is BLAS-heavy and releases the GIL.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.local import FedAvgLocalSolver
+from repro.datasets import make_synthetic
+from repro.fl.client import Client
+from repro.fl.executor import SequentialExecutor, ThreadPoolClientExecutor
+from repro.models import MultinomialLogisticModel
+
+
+@pytest.fixture(scope="module")
+def federation():
+    dataset = make_synthetic(
+        alpha=1.0, beta=1.0, num_devices=8, num_features=400,
+        num_classes=10, min_size=400, max_size=800, seed=0,
+    )
+    solver = FedAvgLocalSolver(step_size=0.001, num_steps=10, batch_size=128)
+
+    def clients():
+        return [
+            Client(
+                d.device_id,
+                d,
+                MultinomialLogisticModel(dataset.num_features, dataset.num_classes),
+                solver,
+                base_seed=0,
+            )
+            for d in dataset.devices
+        ]
+
+    w0 = MultinomialLogisticModel(
+        dataset.num_features, dataset.num_classes
+    ).init_parameters(0)
+    return clients, w0
+
+
+def test_sequential_round(benchmark, federation):
+    clients_fn, w0 = federation
+    clients = clients_fn()
+    executor = SequentialExecutor()
+    benchmark(lambda: executor.run_round(clients, w0, 1))
+
+
+def test_threaded_round(benchmark, federation):
+    clients_fn, w0 = federation
+    clients = clients_fn()
+    with ThreadPoolClientExecutor(max_workers=4) as executor:
+        benchmark(lambda: executor.run_round(clients, w0, 1))

@@ -1,0 +1,120 @@
+"""Lemma 1 / Remark 1 numerics: the tau-bound geometry and the
+SARAH-vs-SVRG gap, as a table the analysis sections reference.
+
+Not a paper figure per se, but the quantitative backbone of Remarks 1
+and 2 — reported so a reader can see the feasibility windows that the
+experiment configurations were drawn from.
+"""
+
+import numpy as np
+
+from repro.core import theory
+from repro.core.theory import ProblemConstants
+from repro.exceptions import InfeasibleParametersError
+
+from conftest import run_once
+
+CONST = ProblemConstants(L=1.0, lam=0.5, sigma_bar_sq=0.0)
+
+
+def test_lemma1_bound_geometry(benchmark, save_json):
+    betas = [5.0, 7.0, 10.0, 20.0, 50.0]
+    thetas = [0.3, 0.5, 0.9]
+    mu = 2.0
+
+    def experiment():
+        rows = []
+        for beta in betas:
+            for theta in thetas:
+                lo = theory.tau_lower_bound(beta, theta, mu, CONST)
+                hi_sarah = theory.tau_upper_bound_sarah(beta)
+                hi_svrg = theory.tau_upper_bound_svrg(beta)
+                rows.append(
+                    {
+                        "beta": beta,
+                        "theta": theta,
+                        "tau_lower": lo,
+                        "tau_upper_sarah": hi_sarah,
+                        "tau_upper_svrg": hi_svrg,
+                        "feasible_sarah": lo <= hi_sarah,
+                    }
+                )
+        return rows
+
+    rows = run_once(benchmark, experiment)
+
+    print("\n=== Lemma 1 tau-bound geometry (L=1, lambda=0.5, mu=2) ===")
+    print(f"{'beta':>6} {'theta':>6} {'lower':>10} {'upper(SARAH)':>13} "
+          f"{'upper(SVRG)':>12} {'SARAH ok':>9}")
+    for r in rows:
+        print(
+            f"{r['beta']:6.1f} {r['theta']:6.2f} {r['tau_lower']:10.1f} "
+            f"{r['tau_upper_sarah']:13.1f} {r['tau_upper_svrg']:12.1f} "
+            f"{str(r['feasible_sarah']):>9}"
+        )
+
+    # SVRG upper bound always at most SARAH's (Remark 1(5))
+    assert all(r["tau_upper_svrg"] <= r["tau_upper_sarah"] for r in rows)
+    # larger beta eventually makes SARAH feasible for every theta here
+    for theta in [0.3, 0.5, 0.9]:
+        last = [r for r in rows if r["theta"] == theta][-1]
+        assert last["feasible_sarah"]
+
+    save_json("theory_bounds", rows)
+
+
+def test_beta_min_table(benchmark, save_json):
+    """Remark 1(3): beta_min and the matched tau* across theta."""
+    thetas = np.linspace(0.2, 0.9, 8)
+    mu = 2.0
+
+    def experiment():
+        rows = []
+        for theta in thetas:
+            beta = theory.beta_min(float(theta), mu, CONST)
+            rows.append(
+                {
+                    "theta": float(theta),
+                    "beta_min": beta,
+                    "tau_star": theory.tau_star_sarah(beta),
+                }
+            )
+        return rows
+
+    rows = run_once(benchmark, experiment)
+
+    print("\n=== Remark 1(3): beta_min(theta) and tau* (SARAH, mu=2) ===")
+    for r in rows:
+        print(f"  theta={r['theta']:.3f}  beta_min={r['beta_min']:9.3f}  "
+              f"tau*={r['tau_star']:10.1f}")
+
+    b = [r["beta_min"] for r in rows]
+    assert all(x > y for x, y in zip(b, b[1:])), "beta_min must fall as theta rises"
+
+    save_json("theory_beta_min", rows)
+
+
+def test_svrg_feasibility_frontier(benchmark, save_json):
+    """Where does SVRG's Lemma-1 system become feasible at all?"""
+    mu = 30.0
+    thetas = [0.5, 0.7, 0.8, 0.9, 0.95]
+
+    def experiment():
+        rows = []
+        for theta in thetas:
+            try:
+                beta = theory.beta_min(theta, mu, CONST, estimator="svrg", beta_max=1e6)
+                rows.append({"theta": theta, "beta_min_svrg": beta, "feasible": True})
+            except InfeasibleParametersError:
+                rows.append({"theta": theta, "beta_min_svrg": None, "feasible": False})
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    print("\n=== SVRG feasibility frontier (mu=30) ===")
+    for r in rows:
+        print(f"  theta={r['theta']:.2f}  feasible={r['feasible']}  "
+              f"beta_min={r['beta_min_svrg']}")
+    # feasibility is monotone: once feasible, stays feasible at looser theta
+    flags = [r["feasible"] for r in rows]
+    assert flags == sorted(flags), "SVRG feasibility must be monotone in theta"
+    save_json("theory_svrg_frontier", rows)

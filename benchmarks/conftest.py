@@ -1,0 +1,54 @@
+"""Shared benchmark infrastructure.
+
+Each bench_* file regenerates one table or figure of the paper at a
+reduced, laptop-friendly scale (see DESIGN.md §4 for the mapping), prints
+the paper-style rows/series, asserts the qualitative *shape*, and writes
+a JSON artifact into ``benchmarks/results/``.
+
+Benchmarks run their experiment exactly once inside
+``benchmark.pedantic`` — the timing numbers locate the compute cost; the
+scientific content is in the printed series and saved artifacts.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def save_json(results_dir):
+    def _save(name: str, payload) -> Path:
+        path = results_dir / f"{name}.json"
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, default=float)
+        return path
+
+    return _save
+
+
+def run_once(benchmark, fn):
+    """Execute ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
+
+
+# Scale knob: CI=1 keeps everything under ~10 min total; larger values
+# approach the paper's scales (REPRO_BENCH_SCALE=4 roughly quadruples
+# devices/samples/rounds).
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1"))
+
+
+def scaled(base: int, minimum: int = 1) -> int:
+    """Scale an integer workload parameter by REPRO_BENCH_SCALE."""
+    return max(minimum, int(round(base * SCALE)))

@@ -1,0 +1,88 @@
+"""Heterogeneity study: measuring sigma_bar^2 and the role of mu (Fig. 4).
+
+Part 1 estimates Assumption 1's empirical heterogeneity ``sigma_bar^2``
+across increasingly non-IID ``Synthetic(alpha, beta)`` federations.
+
+Part 2 reproduces Fig. 4's phenomenon: with ``mu = 0`` FedProxVR's loss
+is unstable/divergent on heterogeneous data, ``mu > 0`` stabilizes it,
+and a too-large ``mu`` slows convergence.
+
+Run:  python examples/heterogeneity_study.py
+"""
+
+from repro import (
+    FederatedRunConfig,
+    MultinomialLogisticModel,
+    make_synthetic,
+    run_federated,
+)
+from repro.fl.client import Client
+from repro.fl.metrics import heterogeneity_sigma_bar_sq
+from repro.core.local import FedAvgLocalSolver
+
+
+def measure_heterogeneity() -> None:
+    print("=== empirical sigma_bar^2 at the initial model ===")
+    for alpha, beta, iid in [(0.0, 0.0, True), (0.0, 0.0, False), (0.5, 0.5, False), (1.0, 1.0, False)]:
+        ds = make_synthetic(alpha, beta, num_devices=20, iid=iid, seed=0)
+        model = MultinomialLogisticModel(ds.num_features, ds.num_classes)
+        solver = FedAvgLocalSolver(step_size=0.1, num_steps=1, batch_size=32)
+        clients = [
+            Client(d.device_id, d, model, solver, base_seed=0) for d in ds.devices
+        ]
+        w0 = model.init_parameters(0)
+        sigma_sq = heterogeneity_sigma_bar_sq(model, clients, w0)
+        print(f"  {ds.name:>22s}: sigma_bar^2 = {sigma_sq:8.3f}")
+    print()
+
+
+def mu_tradeoff() -> None:
+    print("=== Fig. 4: proximal penalty mu vs convergence ===")
+    ds = make_synthetic(2.0, 2.0, num_devices=30, seed=0)
+
+    def model_factory() -> MultinomialLogisticModel:
+        return MultinomialLogisticModel(ds.num_features, ds.num_classes)
+
+    print("-- aggressive step size (eta = 2): mu = 0 is unstable --")
+    for mu in (0.0, 0.5, 2.0, 5.0):
+        config = FederatedRunConfig(
+            algorithm="fedproxvr-svrg",
+            num_rounds=30,
+            num_local_steps=30,
+            beta=0.5,
+            smoothness=1.0,  # underestimate L on purpose -> large eta
+            mu=mu,
+            batch_size=16,
+            seed=2,
+            eval_every=6,
+        )
+        history, _ = run_federated(ds, model_factory, config)
+        losses = ", ".join(f"{r.train_loss:.3f}" for r in history.records)
+        final = history.final("train_loss")
+        tag = "UNSTABLE" if final > 2.0 else "converged"
+        print(f"  mu={mu:<5g} [{tag:9s}] loss: {losses}")
+
+    print("-- conservative step size: larger mu converges more slowly --")
+    for mu in (0.1, 1.0, 10.0):
+        config = FederatedRunConfig(
+            algorithm="fedproxvr-svrg",
+            num_rounds=60,
+            num_local_steps=30,
+            beta=4.0,
+            mu=mu,
+            batch_size=16,
+            seed=2,
+            eval_every=12,
+        )
+        history, _ = run_federated(ds, model_factory, config)
+        losses = ", ".join(f"{r.train_loss:.3f}" for r in history.records)
+        print(f"  mu={mu:<5g} loss: {losses}")
+
+
+def main() -> None:
+    measure_heterogeneity()
+    mu_tradeoff()
+
+
+if __name__ == "__main__":
+    main()

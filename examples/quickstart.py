@@ -1,0 +1,56 @@
+"""Quickstart: FedProxVR vs FedAvg on a heterogeneous synthetic task.
+
+Builds a ``Synthetic(1,1)`` federation of 30 devices, trains multinomial
+logistic regression with FedAvg and both FedProxVR variants under the
+same ``(beta, tau, B)``, and prints the paper-style convergence
+comparison.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    FederatedRunConfig,
+    MultinomialLogisticModel,
+    make_synthetic,
+    run_federated,
+)
+from repro.fl.history import format_comparison
+
+
+def main() -> None:
+    dataset = make_synthetic(
+        alpha=1.0, beta=1.0, num_devices=30, num_features=60, seed=0
+    )
+    print(dataset.summary())
+    print()
+
+    def model_factory() -> MultinomialLogisticModel:
+        return MultinomialLogisticModel(dataset.num_features, dataset.num_classes)
+
+    histories = []
+    for algorithm, mu in [
+        ("fedavg", 0.0),
+        ("fedproxvr-svrg", 0.1),
+        ("fedproxvr-sarah", 0.1),
+    ]:
+        config = FederatedRunConfig(
+            algorithm=algorithm,
+            num_rounds=100,
+            num_local_steps=20,
+            beta=5.0,
+            mu=mu,
+            batch_size=32,
+            seed=1,
+            eval_every=10,
+        )
+        history, _ = run_federated(dataset, model_factory, config)
+        histories.append(history)
+        losses = " -> ".join(f"{r.train_loss:.4f}" for r in history.records[::2])
+        print(f"{algorithm:>18s}: loss {losses}")
+
+    print()
+    print(format_comparison(histories))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,17 @@
+"""Legacy setup shim.
+
+The canonical metadata lives in ``pyproject.toml``; this file exists so
+that ``pip install -e . --no-use-pep517`` works on environments without
+the ``wheel`` package (offline editable installs).
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+    install_requires=["numpy>=1.22", "scipy>=1.8"],
+)

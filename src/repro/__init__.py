@@ -1,0 +1,112 @@
+"""repro — reproduction of "Federated Learning with Proximal Stochastic
+Variance Reduced Gradient Algorithms" (Dinh et al., ICPP 2020).
+
+Public API tour
+---------------
+
+Quick experiment::
+
+    from repro import make_synthetic, MultinomialLogisticModel
+    from repro import FederatedRunConfig, run_federated
+
+    ds = make_synthetic(1.0, 1.0, num_devices=30, seed=0)
+    cfg = FederatedRunConfig(algorithm="fedproxvr-sarah", num_rounds=100,
+                             num_local_steps=20, beta=5, mu=0.1)
+    history, w = run_federated(
+        ds, lambda: MultinomialLogisticModel(ds.num_features, ds.num_classes),
+        cfg)
+
+Theory (Lemma 1 / Theorem 1 / §4.3)::
+
+    from repro.core import theory, param_opt
+    c = theory.ProblemConstants(L=1.0, lam=0.5, sigma_bar_sq=0.0)
+    opt = param_opt.optimize_parameters(gamma=1e-2, constants=c)
+"""
+
+from repro import analysis, viz
+from repro.core import certificates, param_opt, theory
+from repro.core.algorithms import ALGORITHMS, make_local_solver
+from repro.core.fsvrg import run_fsvrg
+from repro.core.estimators import (
+    SARAHEstimator,
+    SGDEstimator,
+    SVRGEstimator,
+    make_estimator,
+)
+from repro.core.local import (
+    FedAvgLocalSolver,
+    FedProxLocalSolver,
+    FedProxVRLocalSolver,
+    GDLocalSolver,
+)
+from repro.core.proximal import IdentityProx, L1Prox, QuadraticProx
+from repro.core.theory import ProblemConstants
+from repro.datasets import (
+    DeviceData,
+    FederatedDataset,
+    make_digits,
+    make_fashion,
+    make_synthetic,
+)
+from repro.datasets.io import load_federated_dataset, save_federated_dataset
+from repro.fl import (
+    Client,
+    FederatedRunConfig,
+    FederatedServer,
+    TrainingHistory,
+    run_federated,
+)
+from repro.models import (
+    LinearRegressionModel,
+    LinearSVMModel,
+    Model,
+    MultinomialLogisticModel,
+    NNModel,
+    make_mlp_model,
+    make_paper_cnn_model,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALGORITHMS",
+    "Client",
+    "DeviceData",
+    "FedAvgLocalSolver",
+    "FedProxLocalSolver",
+    "FedProxVRLocalSolver",
+    "FederatedDataset",
+    "FederatedRunConfig",
+    "FederatedServer",
+    "GDLocalSolver",
+    "IdentityProx",
+    "L1Prox",
+    "LinearRegressionModel",
+    "LinearSVMModel",
+    "Model",
+    "MultinomialLogisticModel",
+    "NNModel",
+    "ProblemConstants",
+    "QuadraticProx",
+    "SARAHEstimator",
+    "SGDEstimator",
+    "SVRGEstimator",
+    "TrainingHistory",
+    "__version__",
+    "analysis",
+    "certificates",
+    "load_federated_dataset",
+    "make_digits",
+    "make_estimator",
+    "make_fashion",
+    "make_local_solver",
+    "make_mlp_model",
+    "make_paper_cnn_model",
+    "make_synthetic",
+    "param_opt",
+    "run_federated",
+    "run_fsvrg",
+    "save_federated_dataset",
+    "theory",
+    "viz",
+]

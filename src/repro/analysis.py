@@ -1,0 +1,152 @@
+"""Multi-seed experiment replication and summary statistics.
+
+Single-seed curves at reduced scale are noisy; the benches and examples
+use this module to rerun a configuration across seeds and report
+mean ± std series and final-metric confidence intervals — the standard
+hygiene for the "who wins" claims the paper's figures make.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.datasets.base import FederatedDataset
+from repro.exceptions import ConfigurationError
+from repro.fl.history import TrainingHistory
+from repro.fl.runner import FederatedRunConfig, run_federated
+from repro.models.base import Model
+
+
+@dataclass
+class ReplicatedSeries:
+    """Mean/std of one metric across seeds, aligned on round indices."""
+
+    metric: str
+    rounds: np.ndarray
+    mean: np.ndarray
+    std: np.ndarray
+    num_seeds: int
+
+    def last(self) -> Tuple[float, float]:
+        """(mean, std) of the final recorded round."""
+        if self.mean.size == 0:
+            return float("nan"), float("nan")
+        return float(self.mean[-1]), float(self.std[-1])
+
+    def format_row(self) -> str:
+        """One-line summary ``metric: final mean +- std (n seeds)``."""
+        m, s = self.last()
+        return f"{self.metric}: {m:.5f} +- {s:.5f} (n={self.num_seeds})"
+
+
+@dataclass
+class ReplicatedRun:
+    """All histories of one configuration across seeds."""
+
+    algorithm: str
+    histories: List[TrainingHistory]
+
+    def series(self, metric: str) -> ReplicatedSeries:
+        """Aggregate one metric across seeds (requires aligned rounds)."""
+        if not self.histories:
+            raise ConfigurationError("no histories to aggregate")
+        rounds = [tuple(r.round_index for r in h.records) for h in self.histories]
+        if len(set(rounds)) != 1:
+            raise ConfigurationError(
+                "histories have mismatched evaluation rounds; use identical "
+                "num_rounds/eval_every across seeds"
+            )
+        data = np.array([h.series(metric) for h in self.histories], dtype=float)
+        return ReplicatedSeries(
+            metric=metric,
+            rounds=np.array(rounds[0], dtype=int),
+            mean=data.mean(axis=0),
+            std=data.std(axis=0, ddof=1) if data.shape[0] > 1 else np.zeros(data.shape[1]),
+            num_seeds=data.shape[0],
+        )
+
+    def final_values(self, metric: str) -> np.ndarray:
+        """Per-seed final values of a metric."""
+        return np.array([h.final(metric) for h in self.histories], dtype=float)
+
+
+def run_replicated(
+    dataset: FederatedDataset,
+    model_factory: Callable[[], Model],
+    config: FederatedRunConfig,
+    *,
+    seeds: Sequence[int],
+    verbose: bool = False,
+) -> ReplicatedRun:
+    """Run one configuration once per seed."""
+    if not seeds:
+        raise ConfigurationError("need at least one seed")
+    histories = []
+    for seed in seeds:
+        cfg = replace(config, seed=int(seed))
+        history, _ = run_federated(dataset, model_factory, cfg, verbose=verbose)
+        histories.append(history)
+    return ReplicatedRun(algorithm=config.algorithm, histories=histories)
+
+
+def compare_replicated(
+    dataset: FederatedDataset,
+    model_factory: Callable[[], Model],
+    configs: Dict[str, FederatedRunConfig],
+    *,
+    seeds: Sequence[int],
+) -> Dict[str, ReplicatedRun]:
+    """Replicate several labeled configurations over the same seeds."""
+    return {
+        label: run_replicated(dataset, model_factory, cfg, seeds=seeds)
+        for label, cfg in configs.items()
+    }
+
+
+def paired_seed_advantage(
+    a: ReplicatedRun,
+    b: ReplicatedRun,
+    *,
+    metric: str = "train_loss",
+    lower_is_better: bool = True,
+) -> Dict[str, float]:
+    """Paired per-seed comparison of two runs.
+
+    Because both runs use the same seeds (same data order, same
+    initialization), differencing per seed removes most run-to-run
+    variance — the right test for "A beats B" claims at small n.
+
+    Returns the mean paired difference (b - a under lower-is-better, so
+    positive favors ``a``), its std, and the win fraction.
+    """
+    va = a.final_values(metric)
+    vb = b.final_values(metric)
+    if va.shape != vb.shape:
+        raise ConfigurationError("runs have different numbers of seeds")
+    diff = (vb - va) if lower_is_better else (va - vb)
+    wins = float(np.mean(diff > 0))
+    return {
+        "mean_advantage": float(diff.mean()),
+        "std_advantage": float(diff.std(ddof=1)) if diff.size > 1 else 0.0,
+        "win_fraction": wins,
+        "num_seeds": int(diff.size),
+    }
+
+
+def summarize(
+    runs: Dict[str, ReplicatedRun], *, metrics: Sequence[str] = ("train_loss", "test_accuracy")
+) -> str:
+    """Multi-run, multi-metric text summary table."""
+    lines = []
+    header = f"{'config':>22s}" + "".join(f"{m:>28s}" for m in metrics)
+    lines.append(header)
+    for label, run in runs.items():
+        cells = []
+        for metric in metrics:
+            m, s = run.series(metric).last()
+            cells.append(f"{m:14.5f} +- {s:8.5f}")
+        lines.append(f"{label:>22s}" + "".join(f"{c:>28s}" for c in cells))
+    return "\n".join(lines)

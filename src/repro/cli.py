@@ -1,0 +1,239 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``run``     — train one algorithm on one dataset and print/save the history.
+``compare`` — train several algorithms under identical settings.
+``theory``  — evaluate Lemma 1 bounds and Theorem 1's factor at given knobs.
+``optimize``— solve the §4.3 problem for one or more gamma values (Fig. 1).
+
+The CLI is a thin veneer over the public API, so every option maps 1:1
+onto :class:`repro.fl.runner.FederatedRunConfig` / the theory functions.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.core import param_opt, theory
+from repro.core.theory import ProblemConstants
+from repro.datasets import make_digits, make_fashion, make_synthetic
+from repro.datasets.base import FederatedDataset
+from repro.exceptions import ConfigurationError, InfeasibleParametersError
+from repro.fl.history import format_comparison
+from repro.fl.runner import FederatedRunConfig, run_federated
+from repro.models import (
+    Model,
+    MultinomialLogisticModel,
+    make_mlp_model,
+    make_paper_cnn_model,
+)
+
+DATASETS = ("synthetic", "digits", "fashion")
+MODELS = ("mlr", "mlp", "cnn")
+
+
+def build_dataset(name: str, *, num_devices: int, num_samples: int, seed: int) -> FederatedDataset:
+    """Instantiate a dataset by CLI name."""
+    if name == "synthetic":
+        return make_synthetic(
+            1.0, 1.0, num_devices=num_devices,
+            min_size=40, max_size=max(80, num_samples // max(1, num_devices)),
+            seed=seed,
+        )
+    if name == "digits":
+        return make_digits(num_devices=num_devices, num_samples=num_samples, seed=seed)
+    if name == "fashion":
+        return make_fashion(num_devices=num_devices, num_samples=num_samples, seed=seed)
+    raise ConfigurationError(f"unknown dataset {name!r}; choices: {DATASETS}")
+
+
+def build_model_factory(name: str, dataset: FederatedDataset) -> Callable[[], Model]:
+    """Model factory by CLI name, sized to the dataset."""
+    if name == "mlr":
+        return lambda: MultinomialLogisticModel(
+            dataset.num_features, dataset.num_classes
+        )
+    if name == "mlp":
+        return lambda: make_mlp_model(
+            dataset.num_features, dataset.num_classes, (64,), seed=0
+        )
+    if name == "cnn":
+        side = int(round(dataset.num_features**0.5))
+        if side * side != dataset.num_features:
+            raise ConfigurationError(
+                "cnn model needs square image features (e.g. the digits/fashion datasets)"
+            )
+        return lambda: make_paper_cnn_model(
+            (1, side, side), dataset.num_classes, channel_scale=0.25, seed=0
+        )
+    raise ConfigurationError(f"unknown model {name!r}; choices: {MODELS}")
+
+
+def _add_run_options(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--dataset", choices=DATASETS, default="synthetic")
+    p.add_argument("--model", choices=MODELS, default="mlr")
+    p.add_argument("--devices", type=int, default=20)
+    p.add_argument("--samples", type=int, default=2000,
+                   help="global corpus size for image datasets")
+    p.add_argument("--rounds", "-T", type=int, default=50)
+    p.add_argument("--tau", type=int, default=10, help="local iterations")
+    p.add_argument("--beta", type=float, default=5.0, help="eta = 1/(beta L)")
+    p.add_argument("--mu", type=float, default=0.1, help="proximal penalty")
+    p.add_argument("--batch-size", "-B", type=int, default=32)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--eval-every", type=int, default=5)
+    p.add_argument("--executor", choices=("sequential", "thread"), default="sequential")
+    p.add_argument("--output", help="write the history JSON here")
+
+
+def _make_config(args, algorithm: str) -> FederatedRunConfig:
+    return FederatedRunConfig(
+        algorithm=algorithm,
+        num_rounds=args.rounds,
+        num_local_steps=args.tau,
+        beta=args.beta,
+        mu=args.mu,
+        batch_size=args.batch_size,
+        seed=args.seed,
+        eval_every=args.eval_every,
+        executor=args.executor,
+    )
+
+
+def cmd_run(args) -> int:
+    dataset = build_dataset(
+        args.dataset, num_devices=args.devices, num_samples=args.samples, seed=args.seed
+    )
+    factory = build_model_factory(args.model, dataset)
+    print(dataset.summary())
+    history, _ = run_federated(
+        dataset, factory, _make_config(args, args.algorithm), verbose=True
+    )
+    if args.output:
+        history.to_json(args.output)
+        print(f"history written to {args.output}")
+    return 0
+
+
+def cmd_compare(args) -> int:
+    dataset = build_dataset(
+        args.dataset, num_devices=args.devices, num_samples=args.samples, seed=args.seed
+    )
+    factory = build_model_factory(args.model, dataset)
+    print(dataset.summary())
+    histories = []
+    for algorithm in args.algorithms:
+        config = _make_config(args, algorithm)
+        if algorithm == "fedavg":
+            config.mu = 0.0
+        history, _ = run_federated(dataset, factory, config)
+        histories.append(history)
+        print(f"  {algorithm:>18s}: final loss {history.final('train_loss'):.4f}  "
+              f"acc {history.final('test_accuracy'):.4f}")
+    print()
+    print(format_comparison(histories))
+    return 0
+
+
+def cmd_theory(args) -> int:
+    constants = ProblemConstants(L=args.L, lam=args.lam, sigma_bar_sq=args.sigma_sq)
+    print(f"constants: L={args.L} lambda={args.lam} sigma^2={args.sigma_sq}")
+    try:
+        lo = theory.tau_lower_bound(args.beta, args.theta, args.mu, constants)
+        hi_sarah = theory.tau_upper_bound_sarah(args.beta)
+        hi_svrg = theory.tau_upper_bound_svrg(args.beta)
+        print(f"Lemma 1: tau in [{lo:.1f}, {hi_sarah:.1f}] (SARAH), "
+              f"[{lo:.1f}, {hi_svrg:.1f}] (SVRG)")
+        feasible = theory.lemma1_feasible(
+            args.beta, 0.5 * (lo + hi_sarah), args.theta, args.mu, constants
+        )
+        print(f"SARAH midpoint feasible: {feasible}")
+    except InfeasibleParametersError as exc:
+        print(f"Lemma 1 infeasible: {exc}")
+    factor = theory.federated_factor(args.theta, args.mu, constants)
+    print(f"Theorem 1: Theta = {factor:.5g} "
+          f"(theta cap {theory.theta_accuracy_cap(args.sigma_sq):.4f})")
+    if factor > 0:
+        T = theory.global_iterations_required(
+            args.delta0, args.theta, args.mu, constants, args.eps
+        )
+        print(f"Corollary 1: T >= {T:.1f} for eps = {args.eps}")
+    return 0
+
+
+def cmd_optimize(args) -> int:
+    constants = ProblemConstants(L=args.L, lam=args.lam, sigma_bar_sq=args.sigma_sq)
+    gammas = (
+        np.geomspace(args.gamma_min, args.gamma_max, args.points)
+        if args.points > 1
+        else [args.gamma_min]
+    )
+    print(f"Fig. 1 sweep: L={args.L} lambda={args.lam} sigma^2={args.sigma_sq}")
+    for opt in param_opt.sweep_gamma(gammas, constants):
+        print("  " + opt.as_row())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="FedProxVR (ICPP 2020) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="train one algorithm")
+    p_run.add_argument(
+        "--algorithm", "-a", default="fedproxvr-sarah",
+        help="fedavg | fedprox | fedproxvr-svrg | fedproxvr-sarah | gd",
+    )
+    _add_run_options(p_run)
+    p_run.set_defaults(func=cmd_run)
+
+    p_cmp = sub.add_parser("compare", help="train several algorithms")
+    p_cmp.add_argument(
+        "--algorithms", "-a", nargs="+",
+        default=["fedavg", "fedproxvr-svrg", "fedproxvr-sarah"],
+    )
+    _add_run_options(p_cmp)
+    p_cmp.set_defaults(func=cmd_compare)
+
+    p_th = sub.add_parser("theory", help="evaluate Lemma 1 / Theorem 1")
+    p_th.add_argument("--L", type=float, default=1.0)
+    p_th.add_argument("--lam", type=float, default=0.5)
+    p_th.add_argument("--sigma-sq", type=float, default=0.0)
+    p_th.add_argument("--beta", type=float, default=10.0)
+    p_th.add_argument("--theta", type=float, default=0.3)
+    p_th.add_argument("--mu", type=float, default=5.0)
+    p_th.add_argument("--delta0", type=float, default=1.0)
+    p_th.add_argument("--eps", type=float, default=0.01)
+    p_th.set_defaults(func=cmd_theory)
+
+    p_opt = sub.add_parser("optimize", help="solve the section-4.3 problem (Fig. 1)")
+    p_opt.add_argument("--L", type=float, default=1.0)
+    p_opt.add_argument("--lam", type=float, default=0.5)
+    p_opt.add_argument("--sigma-sq", type=float, default=0.0)
+    p_opt.add_argument("--gamma-min", type=float, default=1e-4)
+    p_opt.add_argument("--gamma-max", type=float, default=1.0)
+    p_opt.add_argument("--points", type=int, default=7)
+    p_opt.set_defaults(func=cmd_optimize)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except (ConfigurationError, InfeasibleParametersError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,61 @@
+"""The paper's contribution: FedProxVR and its analysis.
+
+* :mod:`repro.core.estimators` — SGD / SVRG / SARAH gradient estimators
+  (eqs. (8a), (8b)).
+* :mod:`repro.core.proximal` — proximal operators, including the
+  closed-form quadratic prox (10).
+* :mod:`repro.core.local` — local solvers (Alg. 1 lines 3-10 and the
+  FedAvg / FedProx / GD baselines).
+* :mod:`repro.core.theory` — Lemma 1, Theorem 1, Corollary 1.
+* :mod:`repro.core.param_opt` — §4.3 training-time minimization (Fig. 1).
+* :mod:`repro.core.tuning` — random hyperparameter search (Tables 1-2).
+"""
+
+from repro.core.estimators import (
+    GradientEstimator,
+    SGDEstimator,
+    SVRGEstimator,
+    SARAHEstimator,
+    make_estimator,
+)
+from repro.core.proximal import (
+    ProximalOperator,
+    QuadraticProx,
+    IdentityProx,
+    L1Prox,
+    gradient_mapping,
+)
+from repro.core.local import (
+    LocalSolver,
+    LocalSolveResult,
+    FedAvgLocalSolver,
+    FedProxLocalSolver,
+    FedProxVRLocalSolver,
+    GDLocalSolver,
+)
+from repro.core.algorithms import make_local_solver, ALGORITHMS
+from repro.core import theory
+from repro.core import param_opt
+
+__all__ = [
+    "ALGORITHMS",
+    "FedAvgLocalSolver",
+    "FedProxLocalSolver",
+    "FedProxVRLocalSolver",
+    "GDLocalSolver",
+    "GradientEstimator",
+    "IdentityProx",
+    "L1Prox",
+    "LocalSolveResult",
+    "LocalSolver",
+    "ProximalOperator",
+    "QuadraticProx",
+    "SARAHEstimator",
+    "SGDEstimator",
+    "SVRGEstimator",
+    "gradient_mapping",
+    "make_estimator",
+    "make_local_solver",
+    "param_opt",
+    "theory",
+]

@@ -1,0 +1,144 @@
+"""Stochastic gradient estimators: SGD, SVRG (8b), SARAH (8a).
+
+An estimator is stateful across one *inner loop* (one global iteration
+``s`` on one device): :meth:`start_epoch` receives the anchor point and
+its full local gradient (Alg. 1 lines 3-4), then :meth:`estimate`
+produces ``v_t`` for each sampled minibatch.
+
+The estimators evaluate the model's minibatch gradient at whichever
+points their recursion requires:
+
+* SGD    — ``v_t = g_B(w_t)``                      (1 evaluation/step)
+* SVRG   — ``v_t = g_B(w_t) - g_B(w_0) + v_0``     (2 evaluations/step)
+* SARAH  — ``v_t = g_B(w_t) - g_B(w_{t-1}) + v_{t-1}`` (2 evaluations/step)
+
+``num_evaluations`` counts minibatch gradient evaluations, which is the
+computation-delay unit ``d_cmp`` of §4.3.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Optional
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.models.base import Model
+
+
+class GradientEstimator(ABC):
+    """Stateful inner-loop gradient estimator."""
+
+    #: human-readable identifier used by factories and result records
+    name: str = "abstract"
+
+    def __init__(self) -> None:
+        self.num_evaluations = 0
+
+    @abstractmethod
+    def start_epoch(self, w0: np.ndarray, full_grad: np.ndarray) -> np.ndarray:
+        """Begin an inner loop at anchor ``w0`` with ``v_0 = full_grad``.
+
+        Returns ``v_0`` (a defensive copy — the caller may mutate it).
+        """
+
+    @abstractmethod
+    def estimate(
+        self,
+        model: Model,
+        X_batch: np.ndarray,
+        y_batch: np.ndarray,
+        w_t: np.ndarray,
+    ) -> np.ndarray:
+        """Produce ``v_t`` for the current iterate and minibatch."""
+
+    def reset_counter(self) -> None:
+        """Zero the gradient-evaluation counter."""
+        self.num_evaluations = 0
+
+
+class SGDEstimator(GradientEstimator):
+    """Vanilla stochastic gradient: ``v_t = g_B(w_t)`` (no reduction)."""
+
+    name = "sgd"
+
+    def start_epoch(self, w0: np.ndarray, full_grad: np.ndarray) -> np.ndarray:
+        return np.array(full_grad, dtype=np.float64, copy=True)
+
+    def estimate(self, model, X_batch, y_batch, w_t):
+        self.num_evaluations += 1
+        return model.gradient(w_t, X_batch, y_batch)
+
+
+class SVRGEstimator(GradientEstimator):
+    """Variance-reduced gradient anchored at ``w_0`` (eq. (8b))."""
+
+    name = "svrg"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._w0: Optional[np.ndarray] = None
+        self._v0: Optional[np.ndarray] = None
+
+    def start_epoch(self, w0, full_grad):
+        self._w0 = np.array(w0, dtype=np.float64, copy=True)
+        self._v0 = np.array(full_grad, dtype=np.float64, copy=True)
+        return self._v0.copy()
+
+    def estimate(self, model, X_batch, y_batch, w_t):
+        if self._w0 is None or self._v0 is None:
+            raise ConfigurationError("estimate() called before start_epoch()")
+        self.num_evaluations += 2
+        g_now = model.gradient(w_t, X_batch, y_batch)
+        g_anchor = model.gradient(self._w0, X_batch, y_batch)
+        return g_now - g_anchor + self._v0
+
+
+class SARAHEstimator(GradientEstimator):
+    """Recursive stochastic gradient (eq. (8a)).
+
+    Unlike SVRG, the control variate tracks the *previous iterate*, so
+    the estimator keeps ``(w_{t-1}, v_{t-1})`` and updates them on every
+    call.
+    """
+
+    name = "sarah"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._w_prev: Optional[np.ndarray] = None
+        self._v_prev: Optional[np.ndarray] = None
+
+    def start_epoch(self, w0, full_grad):
+        self._w_prev = np.array(w0, dtype=np.float64, copy=True)
+        self._v_prev = np.array(full_grad, dtype=np.float64, copy=True)
+        return self._v_prev.copy()
+
+    def estimate(self, model, X_batch, y_batch, w_t):
+        if self._w_prev is None or self._v_prev is None:
+            raise ConfigurationError("estimate() called before start_epoch()")
+        self.num_evaluations += 2
+        g_now = model.gradient(w_t, X_batch, y_batch)
+        g_prev = model.gradient(self._w_prev, X_batch, y_batch)
+        v_t = g_now - g_prev + self._v_prev
+        self._w_prev = np.array(w_t, dtype=np.float64, copy=True)
+        self._v_prev = v_t
+        return v_t.copy()
+
+
+_ESTIMATORS = {
+    "sgd": SGDEstimator,
+    "svrg": SVRGEstimator,
+    "sarah": SARAHEstimator,
+}
+
+
+def make_estimator(name: str) -> GradientEstimator:
+    """Instantiate an estimator by name (``sgd``/``svrg``/``sarah``)."""
+    try:
+        return _ESTIMATORS[name.lower()]()
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown estimator {name!r}; choices: {sorted(_ESTIMATORS)}"
+        ) from None

@@ -1,0 +1,162 @@
+"""FSVRG — Federated SVRG (Konecny et al. 2016), reference [12].
+
+The paper's related work positions FedProxVR against FSVRG, which
+differs from FedProxVR-SVRG in two protocol-level ways:
+
+1. the SVRG control variate anchors on the **global** gradient
+   ``grad F_bar(w_bar)`` — requiring an extra half-round in which every
+   device ships its full local gradient to the server;
+2. there is no proximal term, and each device scales its step size by
+   ``D / (N * D_n)`` so devices with fewer samples take larger steps.
+
+The two-phase round does not fit the one-shot :class:`LocalSolver`
+interface, so FSVRG gets its own runner mirroring
+:func:`repro.fl.runner.run_federated`'s signature and returning the same
+:class:`TrainingHistory`, which makes it drop-in comparable in benches.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Optional, Tuple
+
+import numpy as np
+
+from repro.datasets.base import FederatedDataset
+from repro.fl.aggregation import weighted_average
+from repro.fl.history import RoundRecord, TrainingHistory
+from repro.fl.metrics import global_accuracy, global_loss_and_gradient_norm
+from repro.fl.runner import FederatedRunConfig, resolve_smoothness
+from repro.models.base import Model
+from repro.utils.rng import derive_generator, spawn_seeds
+
+
+def _fsvrg_local_update(
+    model: Model,
+    X: np.ndarray,
+    y: np.ndarray,
+    w_global: np.ndarray,
+    global_grad: np.ndarray,
+    *,
+    step_size: float,
+    num_steps: int,
+    batch_size: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """One device's FSVRG inner loop (globally-anchored SVRG)."""
+    n = X.shape[0]
+    w = np.array(w_global, dtype=np.float64, copy=True)
+    for _ in range(num_steps):
+        size = min(batch_size, n)
+        idx = rng.choice(n, size=size, replace=False) if size < n else np.arange(n)
+        g_now = model.gradient(w, X[idx], y[idx])
+        g_anchor = model.gradient(w_global, X[idx], y[idx])
+        # local stochastic part corrected toward the *global* gradient
+        v = g_now - g_anchor + global_grad
+        w -= step_size * v
+    return w
+
+
+def run_fsvrg(
+    dataset: FederatedDataset,
+    model_factory: Callable[[], Model],
+    config: FederatedRunConfig,
+    *,
+    w0: Optional[np.ndarray] = None,
+    verbose: bool = False,
+) -> Tuple[TrainingHistory, np.ndarray]:
+    """Run FSVRG for ``config.num_rounds`` global iterations.
+
+    Uses ``config``'s ``beta`` (via ``eta = 1/(beta L)``), ``tau``,
+    ``batch_size`` and ``seed``; ``mu`` is ignored (FSVRG has no prox).
+    Each device's step size is additionally scaled by ``D / (N D_n)``
+    per the FSVRG recipe.
+    """
+    init_seed, _ = (s.entropy for s in spawn_seeds(config.seed, 2))
+    model = model_factory()
+    L = resolve_smoothness(model, dataset, override=config.smoothness, seed=config.seed)
+    base_eta = 1.0 / (config.beta * L)
+
+    weights = dataset.weights()
+    N = dataset.num_devices
+    total = dataset.total_train
+    step_scales = np.array(
+        [total / (N * d.num_train) for d in dataset.devices], dtype=np.float64
+    )
+
+    if w0 is None:
+        w0 = model.init_parameters(init_seed)
+    w = np.array(w0, dtype=np.float64, copy=True)
+
+    # Evaluation plumbing reuses the standard metrics through throwaway
+    # Client shells (metrics only touch .data and .num_train).
+    from repro.core.local import FedAvgLocalSolver
+    from repro.fl.client import Client
+
+    eval_solver = FedAvgLocalSolver(step_size=base_eta, num_steps=1, batch_size=1)
+    clients = [
+        Client(d.device_id, d, model, eval_solver, base_seed=config.seed)
+        for d in dataset.devices
+    ]
+
+    history = TrainingHistory(
+        algorithm="fsvrg",
+        dataset=dataset.name,
+        config={
+            "algorithm": "fsvrg",
+            "T": config.num_rounds,
+            "tau": config.num_local_steps,
+            "beta": config.beta,
+            "batch_size": config.batch_size,
+            "L": L,
+            "eta": base_eta,
+            "seed": config.seed,
+        },
+    )
+    start = time.perf_counter()
+    for s in range(1, config.num_rounds + 1):
+        # Phase 1: server assembles the global full gradient.
+        device_grads = [
+            model.gradient(w, d.X_train, d.y_train) for d in dataset.devices
+        ]
+        global_grad = np.einsum("n,nd->d", weights, np.stack(device_grads))
+
+        # Phase 2: locally anchored SVRG steps, then aggregation.
+        local_models = []
+        for k, dev in enumerate(dataset.devices):
+            rng = derive_generator(config.seed, dev.device_id, s)
+            local_models.append(
+                _fsvrg_local_update(
+                    model,
+                    dev.X_train,
+                    dev.y_train,
+                    w,
+                    global_grad,
+                    step_size=base_eta * float(step_scales[k]),
+                    num_steps=config.num_local_steps,
+                    batch_size=config.batch_size,
+                    rng=rng,
+                )
+            )
+        w = weighted_average(local_models, weights)
+
+        if s % config.eval_every == 0 or s == config.num_rounds:
+            loss, grad_norm = global_loss_and_gradient_norm(model, clients, w)
+            acc = global_accuracy(model, clients, w)
+            history.append(
+                RoundRecord(
+                    round_index=s,
+                    train_loss=loss,
+                    grad_norm=grad_norm,
+                    test_accuracy=acc,
+                    sim_time=0.0,
+                    wall_time=time.perf_counter() - start,
+                    mean_local_steps=float(config.num_local_steps),
+                    mean_gradient_evaluations=float(2 * config.num_local_steps + 1),
+                )
+            )
+            if verbose:
+                print(f"[fsvrg] round {s:4d}  loss {loss:10.5f}  acc {acc:6.4f}")
+            if not np.isfinite(loss):
+                break
+    return history, w

@@ -1,0 +1,84 @@
+"""Local-solver interface and result record.
+
+A local solver implements Alg. 1 lines 3-10 (or a baseline's analogue):
+given the broadcast global model it produces the device's local model
+for this round, plus bookkeeping the server and the delay model consume
+(gradient-evaluation counts map to computation delay ``d_cmp``).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.models.base import Model
+from repro.utils.validation import check_positive, check_positive_int
+
+
+@dataclass
+class LocalSolveResult:
+    """Outcome of one device's local update in one global iteration."""
+
+    w_local: np.ndarray
+    num_steps: int
+    num_gradient_evaluations: int
+    #: ``||grad F_n(w_bar)||`` at the round's start (the RHS scale of (11))
+    start_grad_norm: float
+    #: ``||grad J_n(w_local)||`` at the returned iterate (LHS of (11)), if evaluated
+    final_surrogate_grad_norm: Optional[float] = None
+    diagnostics: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def achieved_accuracy(self) -> Optional[float]:
+        """Empirical local accuracy ``theta_hat`` of criterion (11).
+
+        ``||grad J_n(w_n)|| / ||grad F_n(w_bar)||`` — values below the
+        configured ``theta`` certify the round met its local criterion.
+        """
+        if self.final_surrogate_grad_norm is None:
+            return None
+        if self.start_grad_norm == 0.0:
+            return 0.0 if self.final_surrogate_grad_norm == 0.0 else float("inf")
+        return self.final_surrogate_grad_norm / self.start_grad_norm
+
+
+class LocalSolver(ABC):
+    """Abstract per-device solver; instances are stateless across rounds
+    except for configuration, so one instance can serve many clients."""
+
+    #: identifier recorded in histories
+    name: str = "abstract"
+
+    def __init__(
+        self,
+        *,
+        step_size: float,
+        num_steps: int,
+        batch_size: int,
+    ) -> None:
+        self.step_size = check_positive("step_size", step_size)
+        self.num_steps = check_positive_int("num_steps", num_steps, minimum=0)
+        self.batch_size = check_positive_int("batch_size", batch_size)
+
+    @abstractmethod
+    def solve(
+        self,
+        model: Model,
+        X: np.ndarray,
+        y: np.ndarray,
+        w_global: np.ndarray,
+        rng: np.random.Generator,
+    ) -> LocalSolveResult:
+        """Run the inner loop from the broadcast model ``w_global``."""
+
+    def _sample_batch(
+        self, rng: np.random.Generator, n: int
+    ) -> np.ndarray:
+        """Uniformly sample a minibatch of indices (Alg. 1 line 6)."""
+        size = min(self.batch_size, n)
+        if size == n:
+            return np.arange(n)
+        return rng.choice(n, size=size, replace=False)

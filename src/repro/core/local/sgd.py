@@ -1,0 +1,45 @@
+"""FedAvg's local update: plain minibatch SGD on ``F_n`` (McMahan et al.)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.local.base import LocalSolveResult, LocalSolver
+from repro.models.base import Model
+
+
+class FedAvgLocalSolver(LocalSolver):
+    """``num_steps`` steps of ``w <- w - eta g_B(w)`` from the global model.
+
+    This is the SGD-based baseline the paper compares against in every
+    experiment; it uses the same ``eta = 1/(beta L)`` step size so the
+    comparison isolates the estimator/prox design.
+    """
+
+    name = "fedavg"
+
+    def solve(
+        self,
+        model: Model,
+        X: np.ndarray,
+        y: np.ndarray,
+        w_global: np.ndarray,
+        rng: np.random.Generator,
+    ) -> LocalSolveResult:
+        n = X.shape[0]
+        start_loss, start_grad = model.loss_and_gradient(w_global, X, y)
+        start_norm = float(np.linalg.norm(start_grad))
+        w = np.array(w_global, dtype=np.float64, copy=True)
+        evals = 1  # the diagnostic full gradient above
+        for _ in range(self.num_steps):
+            idx = self._sample_batch(rng, n)
+            g = model.gradient(w, X[idx], y[idx])
+            evals += 1
+            w -= self.step_size * g
+        return LocalSolveResult(
+            w_local=w,
+            num_steps=self.num_steps,
+            num_gradient_evaluations=evals,
+            start_grad_norm=start_norm,
+            diagnostics={"start_loss": start_loss},
+        )

@@ -1,0 +1,38 @@
+"""Federated dataset containers and generators.
+
+Three dataset families, matching §5 of the paper:
+
+* :func:`repro.datasets.synthetic.make_synthetic` — the FedProx-style
+  ``Synthetic(alpha, beta)`` heterogeneous classification generator.
+* :func:`repro.datasets.digits.make_digits` — an MNIST-like 28x28
+  ten-class digit task (offline surrogate; see DESIGN.md §2).
+* :func:`repro.datasets.fashion.make_fashion` — a Fashion-MNIST-like
+  28x28 ten-class garment-silhouette task (offline surrogate).
+
+All generators return a :class:`repro.datasets.base.FederatedDataset`
+partitioned across devices with power-law sizes and a limited number of
+labels per device.
+"""
+
+from repro.datasets.base import DeviceData, FederatedDataset
+from repro.datasets.partition import (
+    pathological_partition,
+    power_law_sizes,
+    label_distribution,
+)
+from repro.datasets.splits import train_test_split_device
+from repro.datasets.synthetic import make_synthetic
+from repro.datasets.digits import make_digits
+from repro.datasets.fashion import make_fashion
+
+__all__ = [
+    "DeviceData",
+    "FederatedDataset",
+    "label_distribution",
+    "make_digits",
+    "make_fashion",
+    "make_synthetic",
+    "pathological_partition",
+    "power_law_sizes",
+    "train_test_split_device",
+]

@@ -1,0 +1,122 @@
+"""Containers for federated data.
+
+A :class:`FederatedDataset` is a list of per-device shards plus global
+metadata.  Device weights are the paper's ``D_n / D`` (computed over
+*training* samples, which is what both the aggregation rule in Alg. 1
+line 12 and the global objective (2) weight by).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, DimensionMismatchError
+
+
+@dataclass
+class DeviceData:
+    """One device's local shard, already split into train and test."""
+
+    device_id: int
+    X_train: np.ndarray
+    y_train: np.ndarray
+    X_test: np.ndarray
+    y_test: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.X_train = np.asarray(self.X_train, dtype=np.float64)
+        self.X_test = np.asarray(self.X_test, dtype=np.float64)
+        self.y_train = np.asarray(self.y_train)
+        self.y_test = np.asarray(self.y_test)
+        if self.X_train.ndim != 2 or self.X_test.ndim != 2:
+            raise DimensionMismatchError("device features must be 2-D matrices")
+        if self.X_train.shape[0] != self.y_train.shape[0]:
+            raise DimensionMismatchError("train X/y length mismatch")
+        if self.X_test.shape[0] != self.y_test.shape[0]:
+            raise DimensionMismatchError("test X/y length mismatch")
+        if self.X_train.shape[0] == 0:
+            raise ConfigurationError(
+                f"device {self.device_id} has no training samples"
+            )
+
+    @property
+    def num_train(self) -> int:
+        """Number of local training samples (the paper's ``D_n``)."""
+        return int(self.X_train.shape[0])
+
+    @property
+    def num_test(self) -> int:
+        """Number of local held-out samples."""
+        return int(self.X_test.shape[0])
+
+    @property
+    def train_labels(self) -> np.ndarray:
+        """Distinct labels present in the training shard."""
+        return np.unique(self.y_train)
+
+
+@dataclass
+class FederatedDataset:
+    """All device shards plus task-level metadata."""
+
+    devices: List[DeviceData]
+    num_features: int
+    num_classes: int
+    name: str = "federated"
+    extra: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.devices:
+            raise ConfigurationError("a federated dataset needs >= 1 device")
+        for dev in self.devices:
+            if dev.X_train.shape[1] != self.num_features:
+                raise DimensionMismatchError(
+                    f"device {dev.device_id} has {dev.X_train.shape[1]} features, "
+                    f"dataset declares {self.num_features}"
+                )
+
+    @property
+    def num_devices(self) -> int:
+        """The paper's ``N``."""
+        return len(self.devices)
+
+    @property
+    def total_train(self) -> int:
+        """The paper's ``D = sum_n D_n``."""
+        return int(sum(d.num_train for d in self.devices))
+
+    def weights(self) -> np.ndarray:
+        """Aggregation weights ``p_n = D_n / D`` (sum to one)."""
+        sizes = np.array([d.num_train for d in self.devices], dtype=np.float64)
+        return sizes / sizes.sum()
+
+    def global_train(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Concatenated training data (for centralized reference runs)."""
+        X = np.concatenate([d.X_train for d in self.devices], axis=0)
+        y = np.concatenate([d.y_train for d in self.devices], axis=0)
+        return X, y
+
+    def global_test(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Concatenated test data (devices may have empty test shards)."""
+        X = np.concatenate([d.X_test for d in self.devices], axis=0)
+        y = np.concatenate([d.y_test for d in self.devices], axis=0)
+        return X, y
+
+    def size_range(self) -> Tuple[int, int]:
+        """(min, max) per-device training sizes — the paper reports these."""
+        sizes = [d.num_train for d in self.devices]
+        return (min(sizes), max(sizes))
+
+    def summary(self) -> str:
+        """Human-readable one-paragraph description."""
+        lo, hi = self.size_range()
+        labels = [len(d.train_labels) for d in self.devices]
+        return (
+            f"{self.name}: {self.num_devices} devices, {self.total_train} train "
+            f"samples (per-device range [{lo}, {hi}]), {self.num_features} "
+            f"features, {self.num_classes} classes, "
+            f"labels/device in [{min(labels)}, {max(labels)}]"
+        )

@@ -1,0 +1,100 @@
+"""Shared image-synthesis machinery for the MNIST-like surrogates.
+
+Class prototypes are coarse 7x5 bitmaps (a classic dot-matrix font for
+digits, silhouettes for garments), upsampled to 28x28 and perturbed per
+sample with random rotation, translation, blur, amplitude jitter, and
+pixel noise.  The result is a ten-class image corpus with genuine
+within-class variation and between-class structure — enough to make a
+CNN meaningfully better than random and to drive the paper's non-IID
+partition mechanics.  (See DESIGN.md §2 for why this substitution
+preserves the experiments' shape.)
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+from scipy import ndimage
+
+from repro.exceptions import ConfigurationError
+from repro.utils.rng import SeedLike, as_generator
+
+IMAGE_SIZE = 28
+GRID_ROWS = 7
+GRID_COLS = 5
+
+
+def render_prototype(bitmap_rows: Sequence[str]) -> np.ndarray:
+    """Upsample a 7x5 '#'-bitmap to a centered 28x28 float image."""
+    if len(bitmap_rows) != GRID_ROWS or any(len(r) != GRID_COLS for r in bitmap_rows):
+        raise ConfigurationError(
+            f"prototype bitmaps must be {GRID_ROWS}x{GRID_COLS} strings"
+        )
+    coarse = np.array(
+        [[1.0 if ch == "#" else 0.0 for ch in row] for row in bitmap_rows],
+        dtype=np.float64,
+    )
+    # 7x5 -> 21x15 by pixel replication, then pad to 28x28 centered.
+    fine = np.kron(coarse, np.ones((3, 3)))
+    out = np.zeros((IMAGE_SIZE, IMAGE_SIZE), dtype=np.float64)
+    r0 = (IMAGE_SIZE - fine.shape[0]) // 2
+    c0 = (IMAGE_SIZE - fine.shape[1]) // 2
+    out[r0 : r0 + fine.shape[0], c0 : c0 + fine.shape[1]] = fine
+    return ndimage.gaussian_filter(out, sigma=0.6)
+
+
+def perturb(
+    prototype: np.ndarray,
+    rng: np.random.Generator,
+    *,
+    max_rotation: float = 14.0,
+    max_shift: int = 3,
+    blur_range: Tuple[float, float] = (0.4, 1.1),
+    noise_std: float = 0.08,
+    texture_std: float = 0.0,
+) -> np.ndarray:
+    """One randomized sample from a class prototype, clipped to [0, 1]."""
+    img = prototype
+    angle = rng.uniform(-max_rotation, max_rotation)
+    img = ndimage.rotate(img, angle, reshape=False, order=1, mode="constant")
+    shift = rng.integers(-max_shift, max_shift + 1, size=2)
+    img = ndimage.shift(img, shift, order=1, mode="constant")
+    img = ndimage.gaussian_filter(img, sigma=rng.uniform(*blur_range))
+    img = img * rng.uniform(0.75, 1.0)
+    if texture_std > 0.0:
+        # Low-frequency multiplicative texture (garment-like shading).
+        texture = ndimage.gaussian_filter(
+            rng.standard_normal(img.shape), sigma=3.0
+        )
+        img = img * (1.0 + texture_std * texture)
+    img = img + rng.standard_normal(img.shape) * noise_std
+    return np.clip(img, 0.0, 1.0)
+
+
+def synthesize_corpus(
+    prototypes: Dict[int, np.ndarray],
+    num_samples: int,
+    *,
+    seed: SeedLike = None,
+    class_skew: float = 0.0,
+    **perturb_kwargs,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Draw a labeled corpus of perturbed prototype images.
+
+    Returns flat feature rows ``(num_samples, 784)`` and integer labels.
+    ``class_skew > 0`` tilts the class prior (Zipf-like) so the global
+    corpus itself is imbalanced, adding another layer of heterogeneity.
+    """
+    if num_samples < 1:
+        raise ConfigurationError("num_samples must be >= 1")
+    rng = as_generator(seed)
+    classes = np.array(sorted(prototypes.keys()))
+    ranks = np.arange(1, len(classes) + 1, dtype=np.float64)
+    prior = np.power(ranks, -class_skew)
+    prior /= prior.sum()
+    labels = rng.choice(classes, size=num_samples, p=prior)
+    X = np.empty((num_samples, IMAGE_SIZE * IMAGE_SIZE), dtype=np.float64)
+    for i, lab in enumerate(labels):
+        X[i] = perturb(prototypes[int(lab)], rng, **perturb_kwargs).ravel()
+    return X, labels.astype(int)

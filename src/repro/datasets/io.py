@@ -1,0 +1,87 @@
+"""Save / load federated datasets as ``.npz`` archives.
+
+Generators are deterministic given a seed, but experiments often want to
+pin the *exact* byte-level dataset (e.g. to share across machines or to
+decouple dataset generation cost from benchmark timing).  The archive
+layout is flat: per-device arrays keyed ``dev{n}_{Xtr,ytr,Xte,yte}``
+plus a JSON metadata blob.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.datasets.base import DeviceData, FederatedDataset
+from repro.exceptions import ConfigurationError
+
+_FORMAT_VERSION = 1
+
+
+def save_federated_dataset(
+    dataset: FederatedDataset, path: Union[str, Path]
+) -> Path:
+    """Write a dataset to ``path`` (``.npz`` appended if missing)."""
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(path.suffix + ".npz")
+    arrays = {}
+    for i, dev in enumerate(dataset.devices):
+        arrays[f"dev{i}_Xtr"] = dev.X_train
+        arrays[f"dev{i}_ytr"] = dev.y_train
+        arrays[f"dev{i}_Xte"] = dev.X_test
+        arrays[f"dev{i}_yte"] = dev.y_test
+    meta = {
+        "format_version": _FORMAT_VERSION,
+        "name": dataset.name,
+        "num_features": dataset.num_features,
+        "num_classes": dataset.num_classes,
+        "num_devices": dataset.num_devices,
+        "device_ids": [dev.device_id for dev in dataset.devices],
+        "extra": {k: _jsonable(v) for k, v in dataset.extra.items()},
+    }
+    arrays["meta_json"] = np.array(json.dumps(meta))
+    np.savez_compressed(path, **arrays)
+    return path
+
+
+def _jsonable(value):
+    if isinstance(value, (np.integer, np.floating)):
+        return value.item()
+    return value
+
+
+def load_federated_dataset(path: Union[str, Path]) -> FederatedDataset:
+    """Read a dataset previously written by :func:`save_federated_dataset`."""
+    path = Path(path)
+    if not path.exists():
+        raise ConfigurationError(f"no dataset archive at {path}")
+    with np.load(path, allow_pickle=False) as archive:
+        if "meta_json" not in archive:
+            raise ConfigurationError(f"{path} is not a repro dataset archive")
+        meta = json.loads(str(archive["meta_json"]))
+        if meta.get("format_version") != _FORMAT_VERSION:
+            raise ConfigurationError(
+                f"unsupported dataset format version {meta.get('format_version')}"
+            )
+        devices = []
+        for i, device_id in enumerate(meta["device_ids"]):
+            devices.append(
+                DeviceData(
+                    int(device_id),
+                    archive[f"dev{i}_Xtr"],
+                    archive[f"dev{i}_ytr"],
+                    archive[f"dev{i}_Xte"],
+                    archive[f"dev{i}_yte"],
+                )
+            )
+    return FederatedDataset(
+        devices=devices,
+        num_features=int(meta["num_features"]),
+        num_classes=int(meta["num_classes"]),
+        name=str(meta["name"]),
+        extra=dict(meta.get("extra", {})),
+    )

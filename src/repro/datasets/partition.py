@@ -1,0 +1,152 @@
+"""Non-IID partitioning: power-law sizes, few labels per device.
+
+Reproduces the partition mechanics of §5: "each of the devices has a
+different sample size, generated according to the power law ... each
+device contains only two different labels over 10 labels."
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.utils.rng import SeedLike, as_generator
+from repro.utils.validation import check_positive, check_positive_int
+
+
+def power_law_sizes(
+    num_devices: int,
+    *,
+    min_size: int = 40,
+    mean_extra: float = 4.0,
+    sigma: float = 1.5,
+    max_size: Optional[int] = None,
+    seed: SeedLike = None,
+) -> np.ndarray:
+    """Draw heavy-tailed per-device sample counts.
+
+    Uses ``min_size + LogNormal(mean_extra, sigma)`` — the same recipe as
+    the FedProx reference generators (lognormal is the standard smooth
+    stand-in for a power law here).  ``max_size`` optionally clips the
+    tail so a single device cannot swallow the sample budget.
+    """
+    check_positive_int("num_devices", num_devices)
+    check_positive_int("min_size", min_size)
+    check_positive("sigma", sigma)
+    rng = as_generator(seed)
+    sizes = (min_size + rng.lognormal(mean_extra, sigma, size=num_devices)).astype(int)
+    if max_size is not None:
+        if max_size < min_size:
+            raise ConfigurationError(
+                f"max_size {max_size} < min_size {min_size}"
+            )
+        sizes = np.minimum(sizes, int(max_size))
+    return sizes
+
+
+def assign_device_labels(
+    num_devices: int,
+    num_classes: int,
+    labels_per_device: int,
+    seed: SeedLike = None,
+) -> List[np.ndarray]:
+    """Assign each device a small label subset, covering all classes.
+
+    Labels are dealt round-robin from a shuffled deck so every class
+    appears on roughly ``num_devices * labels_per_device / num_classes``
+    devices, matching the paper's "only two different labels over 10".
+    """
+    check_positive_int("num_devices", num_devices)
+    check_positive_int("num_classes", num_classes)
+    check_positive_int("labels_per_device", labels_per_device)
+    if labels_per_device > num_classes:
+        raise ConfigurationError(
+            f"labels_per_device {labels_per_device} > num_classes {num_classes}"
+        )
+    rng = as_generator(seed)
+    deck: List[int] = []
+    assignments: List[np.ndarray] = []
+    for _ in range(num_devices):
+        picked: List[int] = []
+        while len(picked) < labels_per_device:
+            if not deck:
+                deck = list(rng.permutation(num_classes))
+            candidate = deck.pop()
+            if candidate not in picked:
+                picked.append(candidate)
+            elif len(set(deck)) == 0:  # pragma: no cover - defensive
+                break
+        assignments.append(np.array(sorted(picked), dtype=int))
+    return assignments
+
+
+def pathological_partition(
+    y: np.ndarray,
+    num_devices: int,
+    *,
+    labels_per_device: int = 2,
+    sizes: Optional[Sequence[int]] = None,
+    seed: SeedLike = None,
+) -> List[np.ndarray]:
+    """Split sample indices across devices by label-restricted sampling.
+
+    Each device receives ``sizes[n]`` indices drawn (without replacement
+    while the label pool lasts, then with replacement) from the pools of
+    its assigned labels, split as evenly as possible across its labels.
+
+    Returns a list of index arrays into ``y``.
+    """
+    y = np.asarray(y)
+    rng = as_generator(seed)
+    classes = np.unique(y)
+    num_classes = len(classes)
+    if sizes is None:
+        sizes = power_law_sizes(num_devices, seed=rng)
+    sizes = np.asarray(sizes, dtype=int)
+    if len(sizes) != num_devices:
+        raise ConfigurationError(
+            f"sizes length {len(sizes)} != num_devices {num_devices}"
+        )
+    label_sets = assign_device_labels(
+        num_devices, num_classes, labels_per_device, seed=rng
+    )
+    # Shuffled per-class pools consumed in order; cursor per class.
+    pools: Dict[int, np.ndarray] = {
+        int(c): rng.permutation(np.flatnonzero(y == c)) for c in classes
+    }
+    cursor: Dict[int, int] = {int(c): 0 for c in classes}
+
+    partitions: List[np.ndarray] = []
+    for n in range(num_devices):
+        device_labels = [int(classes[j]) for j in label_sets[n]]
+        quota = np.full(len(device_labels), sizes[n] // len(device_labels), dtype=int)
+        quota[: sizes[n] % len(device_labels)] += 1
+        chosen: List[np.ndarray] = []
+        for lab, q in zip(device_labels, quota):
+            pool = pools[lab]
+            start = cursor[lab]
+            take = pool[start : start + q]
+            cursor[lab] = start + len(take)
+            if len(take) < q:
+                # Pool exhausted: top up with replacement so the target
+                # power-law sizes are honored even on small corpora.
+                extra = rng.choice(pool, size=q - len(take), replace=True)
+                take = np.concatenate([take, extra])
+            chosen.append(take)
+        partitions.append(rng.permutation(np.concatenate(chosen)))
+    return partitions
+
+
+def label_distribution(y: np.ndarray, partitions: Sequence[np.ndarray]) -> np.ndarray:
+    """Matrix ``(num_devices, num_classes)`` of per-device label counts."""
+    y = np.asarray(y)
+    classes = np.unique(y)
+    out = np.zeros((len(partitions), len(classes)), dtype=int)
+    index = {int(c): j for j, c in enumerate(classes)}
+    for n, idx in enumerate(partitions):
+        labels, counts = np.unique(y[idx], return_counts=True)
+        for lab, cnt in zip(labels, counts):
+            out[n, index[int(lab)]] = cnt
+    return out

@@ -1,0 +1,34 @@
+"""Per-device train/test splitting (75/25 in the paper)."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, as_generator
+from repro.utils.validation import check_in_range
+
+
+def train_test_split_device(
+    X: np.ndarray,
+    y: np.ndarray,
+    *,
+    train_fraction: float = 0.75,
+    seed: SeedLike = None,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Shuffle and split one device's samples.
+
+    Guarantees at least one training sample; a device with a single
+    sample puts it in training and leaves the test shard empty.
+    """
+    check_in_range("train_fraction", train_fraction, 0.0, 1.0, inclusive="neither")
+    X = np.asarray(X)
+    y = np.asarray(y)
+    n = X.shape[0]
+    rng = as_generator(seed)
+    order = rng.permutation(n)
+    cut = max(1, int(round(n * train_fraction)))
+    cut = min(cut, n)
+    train_idx, test_idx = order[:cut], order[cut:]
+    return X[train_idx], y[train_idx], X[test_idx], y[test_idx]

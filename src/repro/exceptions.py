@@ -1,0 +1,33 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All errors raised deliberately by this library derive from
+:class:`ReproError`, so callers can catch library failures without
+swallowing programming errors such as :class:`TypeError` raised by NumPy.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """An invalid configuration value was supplied by the caller."""
+
+
+class ConvergenceError(ReproError, RuntimeError):
+    """An iterative routine failed to converge within its budget."""
+
+
+class InfeasibleParametersError(ReproError, ValueError):
+    """Theory-level parameters violate the feasibility conditions.
+
+    Raised, for example, when Lemma 1 admits no number of local
+    iterations ``tau`` for the requested ``(beta, theta, mu)`` or when
+    Theorem 1's federated factor ``Theta`` is non-positive.
+    """
+
+
+class DimensionMismatchError(ReproError, ValueError):
+    """Array shapes passed to a routine are mutually inconsistent."""

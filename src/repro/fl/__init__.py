@@ -1,0 +1,42 @@
+"""Federated-learning simulation framework.
+
+The outer loop of Alg. 1: a :class:`repro.fl.server.FederatedServer`
+broadcasts the global model, a :class:`repro.fl.executor.ClientExecutor`
+runs every :class:`repro.fl.client.Client`'s local solver (sequentially
+or on a thread pool), the weighted average (line 12) closes the round,
+and :mod:`repro.fl.metrics` / :mod:`repro.fl.delays` record convergence
+and simulated training time.
+"""
+
+from repro.fl.aggregation import (
+    weighted_average,
+    coordinate_median,
+    trimmed_mean,
+)
+from repro.fl.client import Client
+from repro.fl.delays import DelayModel, make_uniform_delays, make_heterogeneous_delays
+from repro.fl.executor import SequentialExecutor, ThreadPoolClientExecutor
+from repro.fl.history import RoundRecord, TrainingHistory
+from repro.fl.metrics import global_loss, global_accuracy, global_gradient_norm
+from repro.fl.server import FederatedServer
+from repro.fl.runner import FederatedRunConfig, run_federated
+
+__all__ = [
+    "Client",
+    "DelayModel",
+    "FederatedRunConfig",
+    "FederatedServer",
+    "RoundRecord",
+    "SequentialExecutor",
+    "ThreadPoolClientExecutor",
+    "TrainingHistory",
+    "coordinate_median",
+    "global_accuracy",
+    "global_gradient_norm",
+    "global_loss",
+    "make_heterogeneous_delays",
+    "make_uniform_delays",
+    "run_federated",
+    "trimmed_mean",
+    "weighted_average",
+]

@@ -1,0 +1,83 @@
+"""Server-side aggregation rules.
+
+The paper's rule is the data-weighted average (Alg. 1 line 12).  The
+robust alternatives (coordinate median, trimmed mean) are included as
+extensions: they plug into the same server and are exercised by the
+failure-injection tests, demonstrating the aggregation seam.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, DimensionMismatchError
+from repro.utils.validation import check_in_range
+
+
+def _stack(vectors: Sequence[np.ndarray]) -> np.ndarray:
+    if not vectors:
+        raise ConfigurationError("cannot aggregate zero vectors")
+    try:
+        return np.stack([np.asarray(v, dtype=np.float64) for v in vectors])
+    except ValueError as exc:
+        raise DimensionMismatchError(f"ragged local models: {exc}") from exc
+
+
+def weighted_average(
+    vectors: Sequence[np.ndarray],
+    weights: Optional[Sequence[float]] = None,
+    *,
+    out: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """``w_bar = sum_n p_n w_n`` (eq. line 12 of Alg. 1).
+
+    ``weights`` default to uniform and are renormalized to sum to one.
+    ``out`` allows writing into a preallocated global-model buffer.
+    """
+    stacked = _stack(vectors)
+    if weights is None:
+        w = np.full(stacked.shape[0], 1.0 / stacked.shape[0])
+    else:
+        w = np.asarray(weights, dtype=np.float64)
+        if w.shape != (stacked.shape[0],):
+            raise DimensionMismatchError(
+                f"{len(w)} weights for {stacked.shape[0]} vectors"
+            )
+        if np.any(w < 0):
+            raise ConfigurationError("aggregation weights must be non-negative")
+        total = w.sum()
+        if total <= 0:
+            raise ConfigurationError("aggregation weights sum to zero")
+        w = w / total
+    result = np.einsum("n,nd->d", w, stacked)
+    if out is not None:
+        out[...] = result
+        return out
+    return result
+
+
+def coordinate_median(vectors: Sequence[np.ndarray]) -> np.ndarray:
+    """Coordinate-wise median — robust to a minority of outlier devices."""
+    return np.median(_stack(vectors), axis=0)
+
+
+def trimmed_mean(vectors: Sequence[np.ndarray], trim_fraction: float = 0.1) -> np.ndarray:
+    """Coordinate-wise mean after trimming the extremes on each side.
+
+    ``trim_fraction`` in ``[0, 0.5)`` is the fraction of devices dropped
+    at *each* end per coordinate.
+    """
+    check_in_range("trim_fraction", trim_fraction, 0.0, 0.5, inclusive="left")
+    stacked = _stack(vectors)
+    n = stacked.shape[0]
+    k = int(np.floor(trim_fraction * n))
+    if 2 * k >= n:
+        raise ConfigurationError(
+            f"trim_fraction {trim_fraction} removes all {n} devices"
+        )
+    if k == 0:
+        return stacked.mean(axis=0)
+    ordered = np.sort(stacked, axis=0)
+    return ordered[k : n - k].mean(axis=0)

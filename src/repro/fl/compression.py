@@ -1,0 +1,169 @@
+"""Communication compression for model updates.
+
+The paper motivates FL partly by "saving communication bandwidth"; this
+module supplies the standard compression operators used to push that
+further, as an extension exercised by ``bench_ablation_compression``:
+
+* :class:`TopKSparsifier` — keep the k largest-magnitude coordinates of
+  the *update* (w_local - w_global), zeroing the rest;
+* :class:`UniformQuantizer` — b-bit uniform quantization with explicit
+  range transmission;
+* :class:`SignCompressor` — 1-bit sign compression scaled by the mean
+  magnitude (signSGD-style);
+* :class:`IdentityCompressor` — the no-op baseline.
+
+Compressors act on *updates*, not raw models, so the scheme composes
+with any local solver: the client sends ``compress(w_local - w_global)``
+and the server reconstructs ``w_global + decompressed``.
+:func:`compress_round` applies this transformation to a whole round's
+local models and reports the achieved compression ratio.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.utils.validation import check_in_range, check_positive_int
+
+
+@dataclass(frozen=True)
+class CompressedUpdate:
+    """A compressed update plus its transmission cost in bits."""
+
+    dense: np.ndarray  # reconstructed (decompressed) update
+    bits: int
+
+
+class UpdateCompressor(ABC):
+    """Interface: lossy-compress a model update vector."""
+
+    @abstractmethod
+    def compress(self, update: np.ndarray) -> CompressedUpdate:
+        """Compress and immediately reconstruct ``update``."""
+
+    @staticmethod
+    def dense_bits(size: int) -> int:
+        """Cost of sending a raw float64 vector."""
+        return 64 * size
+
+
+class IdentityCompressor(UpdateCompressor):
+    """No compression (the baseline's cost model)."""
+
+    def compress(self, update: np.ndarray) -> CompressedUpdate:
+        update = np.asarray(update, dtype=np.float64)
+        return CompressedUpdate(dense=update.copy(), bits=self.dense_bits(update.size))
+
+
+class TopKSparsifier(UpdateCompressor):
+    """Keep the ``k`` largest-|.| coordinates; send (index, value) pairs.
+
+    ``k`` may be given absolutely or as a fraction of the dimension.
+    """
+
+    def __init__(self, k: int = 0, *, fraction: float = 0.0) -> None:
+        if (k <= 0) == (fraction <= 0.0):
+            raise ConfigurationError("specify exactly one of k or fraction")
+        if fraction:
+            check_in_range("fraction", fraction, 0.0, 1.0, inclusive="right")
+        else:
+            check_positive_int("k", k)
+        self.k = int(k)
+        self.fraction = float(fraction)
+
+    def _effective_k(self, size: int) -> int:
+        k = self.k if self.k > 0 else int(np.ceil(self.fraction * size))
+        return max(1, min(k, size))
+
+    def compress(self, update: np.ndarray) -> CompressedUpdate:
+        update = np.asarray(update, dtype=np.float64)
+        k = self._effective_k(update.size)
+        if k == update.size:
+            return CompressedUpdate(update.copy(), self.dense_bits(update.size))
+        idx = np.argpartition(np.abs(update), -k)[-k:]
+        dense = np.zeros_like(update)
+        dense[idx] = update[idx]
+        # 32-bit index + 64-bit value per kept coordinate
+        return CompressedUpdate(dense=dense, bits=k * (32 + 64))
+
+
+class UniformQuantizer(UpdateCompressor):
+    """b-bit uniform quantization over the update's observed range."""
+
+    def __init__(self, num_bits: int = 8) -> None:
+        check_positive_int("num_bits", num_bits)
+        if num_bits >= 64:
+            raise ConfigurationError("use IdentityCompressor for >= 64 bits")
+        self.num_bits = int(num_bits)
+
+    def compress(self, update: np.ndarray) -> CompressedUpdate:
+        update = np.asarray(update, dtype=np.float64)
+        lo, hi = float(update.min(initial=0.0)), float(update.max(initial=0.0))
+        levels = (1 << self.num_bits) - 1
+        if hi == lo:
+            dense = np.full_like(update, lo)
+        else:
+            scale = (hi - lo) / levels
+            codes = np.round((update - lo) / scale)
+            dense = lo + codes * scale
+        # payload: codes + the (lo, hi) range as two float64
+        return CompressedUpdate(
+            dense=dense, bits=self.num_bits * update.size + 128
+        )
+
+
+class SignCompressor(UpdateCompressor):
+    """1-bit sign compression scaled by the mean magnitude."""
+
+    def compress(self, update: np.ndarray) -> CompressedUpdate:
+        update = np.asarray(update, dtype=np.float64)
+        scale = float(np.mean(np.abs(update))) if update.size else 0.0
+        dense = np.sign(update) * scale
+        return CompressedUpdate(dense=dense, bits=update.size + 64)
+
+
+def compress_round(
+    local_models: Sequence[np.ndarray],
+    w_global: np.ndarray,
+    compressor: UpdateCompressor,
+) -> Tuple[List[np.ndarray], float]:
+    """Compress every device's update against the broadcast model.
+
+    Returns the reconstructed local models and the achieved compression
+    ratio (dense bits / compressed bits, >= 1 for real compressors).
+    """
+    w_global = np.asarray(w_global, dtype=np.float64)
+    reconstructed: List[np.ndarray] = []
+    dense_total = 0
+    compressed_total = 0
+    for w_local in local_models:
+        update = np.asarray(w_local, dtype=np.float64) - w_global
+        result = compressor.compress(update)
+        reconstructed.append(w_global + result.dense)
+        dense_total += UpdateCompressor.dense_bits(update.size)
+        compressed_total += result.bits
+    ratio = dense_total / compressed_total if compressed_total else float("inf")
+    return reconstructed, ratio
+
+
+def make_compressing_aggregator(compressor: UpdateCompressor, w_ref):
+    """Adapt a compressor into a server aggregation callable.
+
+    ``w_ref`` is a single-element list holding the current global model;
+    the aggregator compresses each round's updates against it and writes
+    the new global model back (see the ablation bench for the wiring).
+    """
+    from repro.fl.aggregation import weighted_average
+
+    def aggregate(vectors, weights=None):
+        reconstructed, _ = compress_round(vectors, w_ref[0], compressor)
+        out = weighted_average(reconstructed, weights)
+        w_ref[0] = out
+        return out
+
+    return aggregate

@@ -1,0 +1,107 @@
+"""Per-device delay models feeding the §4.3 training-time analysis.
+
+Each device has a computation delay ``d_cmp`` per local gradient
+evaluation and a communication delay ``d_com`` per round trip with the
+server.  The paper's total training time (19) is
+``T (d_com + d_cmp tau)``; in simulation we charge each round by the
+*slowest* device (synchronous aggregation) through
+:class:`repro.utils.timing.SimulatedClock`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.utils.rng import SeedLike, as_generator
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class DeviceDelay:
+    """One device's delay constants."""
+
+    d_cmp: float
+    d_com: float
+
+    def __post_init__(self) -> None:
+        check_positive("d_cmp", self.d_cmp, strict=False)
+        check_positive("d_com", self.d_com, strict=False)
+
+    @property
+    def gamma(self) -> float:
+        """Weight factor ``gamma = d_cmp / d_com`` (§4.3)."""
+        if self.d_com == 0.0:
+            return float("inf")
+        return self.d_cmp / self.d_com
+
+    def round_delay(self, num_gradient_evaluations: int) -> float:
+        """Delay of one round with the given local compute volume."""
+        if num_gradient_evaluations < 0:
+            raise ConfigurationError("negative gradient-evaluation count")
+        return self.d_com + self.d_cmp * num_gradient_evaluations
+
+
+class DelayModel:
+    """Delay constants for a whole federation."""
+
+    def __init__(self, delays: Sequence[DeviceDelay]) -> None:
+        if not delays:
+            raise ConfigurationError("DelayModel requires >= 1 device")
+        self.delays: List[DeviceDelay] = list(delays)
+
+    def __len__(self) -> int:
+        return len(self.delays)
+
+    def round_delays(self, evaluation_counts: Sequence[int]) -> List[float]:
+        """Per-device delays of one round, ordered like the devices."""
+        if len(evaluation_counts) != len(self.delays):
+            raise ConfigurationError(
+                f"{len(evaluation_counts)} counts for {len(self.delays)} devices"
+            )
+        return [
+            d.round_delay(c) for d, c in zip(self.delays, evaluation_counts)
+        ]
+
+    def mean_gamma(self) -> float:
+        """Federation-average weight factor."""
+        return float(np.mean([d.gamma for d in self.delays]))
+
+
+def make_uniform_delays(
+    num_devices: int, *, d_cmp: float = 1e-3, d_com: float = 1.0
+) -> DelayModel:
+    """All devices identical — the setting of the §4.3 analysis."""
+    if num_devices < 1:
+        raise ConfigurationError("num_devices must be >= 1")
+    return DelayModel([DeviceDelay(d_cmp, d_com)] * num_devices)
+
+
+def make_heterogeneous_delays(
+    num_devices: int,
+    *,
+    d_cmp_mean: float = 1e-3,
+    d_com_mean: float = 1.0,
+    spread: float = 0.5,
+    seed: SeedLike = None,
+) -> DelayModel:
+    """Lognormal device-to-device delay variation (straggler modeling).
+
+    ``spread`` is the lognormal sigma; 0 reduces to uniform delays.
+    """
+    if num_devices < 1:
+        raise ConfigurationError("num_devices must be >= 1")
+    check_positive("d_cmp_mean", d_cmp_mean)
+    check_positive("d_com_mean", d_com_mean)
+    check_positive("spread", spread, strict=False)
+    rng = as_generator(seed)
+    # E[lognormal(m, s)] = exp(m + s^2/2); solve m for the target mean.
+    offset = -0.5 * spread**2
+    cmp_draws = d_cmp_mean * np.exp(rng.normal(offset, spread, num_devices))
+    com_draws = d_com_mean * np.exp(rng.normal(offset, spread, num_devices))
+    return DelayModel(
+        [DeviceDelay(float(a), float(b)) for a, b in zip(cmp_draws, com_draws)]
+    )

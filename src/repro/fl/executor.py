@@ -1,0 +1,83 @@
+"""Client execution strategies.
+
+Alg. 1's inner loops run "in parallel" across devices; in simulation the
+semantics are identical whether clients run sequentially or
+concurrently, because each (client, round) pair derives its own RNG
+stream.  The thread-pool executor gives real speedups on models whose
+gradient work releases the GIL inside BLAS (dense/conv GEMMs); it
+requires per-client model instances (see :class:`repro.fl.client.Client`).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from concurrent.futures import ThreadPoolExecutor
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.local.base import LocalSolveResult
+from repro.fl.client import Client
+from repro.utils.validation import check_positive_int
+
+
+class ClientExecutor(ABC):
+    """Runs one round of local updates over a set of clients."""
+
+    @abstractmethod
+    def run_round(
+        self,
+        clients: Sequence[Client],
+        w_global: np.ndarray,
+        round_index: int,
+    ) -> List[LocalSolveResult]:
+        """Return local results ordered like ``clients``."""
+
+    def close(self) -> None:
+        """Release any pooled resources (default: nothing to do)."""
+
+
+class SequentialExecutor(ClientExecutor):
+    """Run clients one after another in the calling thread (default)."""
+
+    def run_round(self, clients, w_global, round_index):
+        return [c.local_update(w_global, round_index) for c in clients]
+
+
+class ThreadPoolClientExecutor(ClientExecutor):
+    """Run clients concurrently on a persistent thread pool.
+
+    The pool is reused across rounds; call :meth:`close` (or use the
+    instance as a context manager) when training finishes.
+    """
+
+    def __init__(self, max_workers: int = 4) -> None:
+        check_positive_int("max_workers", max_workers)
+        self._pool = ThreadPoolExecutor(max_workers=max_workers)
+        self._closed = False
+
+    def run_round(self, clients, w_global, round_index):
+        if self._closed:
+            raise RuntimeError("executor already closed")
+        models = [c.model for c in clients]
+        if len(set(map(id, models))) != len(models):
+            raise RuntimeError(
+                "parallel execution requires one model instance per client "
+                "(shared models carry per-call forward/backward caches)"
+            )
+        futures = [
+            self._pool.submit(c.local_update, w_global, round_index)
+            for c in clients
+        ]
+        return [f.result() for f in futures]
+
+    def close(self) -> None:
+        if not self._closed:
+            self._pool.shutdown(wait=True)
+            self._closed = True
+
+    def __enter__(self) -> "ThreadPoolClientExecutor":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

@@ -1,0 +1,122 @@
+"""Training histories: per-round records plus export helpers."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+
+@dataclass
+class RoundRecord:
+    """Metrics captured after one global iteration."""
+
+    round_index: int
+    train_loss: float
+    grad_norm: float
+    test_accuracy: float
+    sim_time: float
+    wall_time: float
+    mean_local_steps: float = 0.0
+    mean_gradient_evaluations: float = 0.0
+    mean_achieved_theta: Optional[float] = None
+
+
+@dataclass
+class TrainingHistory:
+    """Full record of a federated run."""
+
+    algorithm: str
+    dataset: str
+    config: Dict[str, object] = field(default_factory=dict)
+    records: List[RoundRecord] = field(default_factory=list)
+
+    def append(self, record: RoundRecord) -> None:
+        """Add one round's record."""
+        self.records.append(record)
+
+    @property
+    def num_rounds(self) -> int:
+        """Number of completed global iterations."""
+        return len(self.records)
+
+    def series(self, name: str) -> List[float]:
+        """Extract one metric as a list across rounds."""
+        if not self.records:
+            return []
+        if not hasattr(self.records[0], name):
+            raise KeyError(f"unknown metric {name!r}")
+        return [getattr(r, name) for r in self.records]
+
+    def final(self, name: str) -> float:
+        """Last value of a metric (``nan`` for empty histories)."""
+        values = self.series(name)
+        return values[-1] if values else float("nan")
+
+    def best(self, name: str, *, maximize: bool = True) -> float:
+        """Best value of a metric over the run."""
+        values = [v for v in self.series(name) if v == v]  # drop NaN
+        if not values:
+            return float("nan")
+        return max(values) if maximize else min(values)
+
+    def diverged(self, *, loss_ceiling: float = 1e6) -> bool:
+        """Heuristic divergence check: non-finite or exploded loss."""
+        losses = self.series("train_loss")
+        return any(
+            (v != v) or (v in (float("inf"), float("-inf"))) or v > loss_ceiling
+            for v in losses
+        )
+
+    def rounds_to_loss(self, target: float) -> Optional[int]:
+        """First round index whose train loss is <= ``target``."""
+        for r in self.records:
+            if r.train_loss <= target:
+                return r.round_index
+        return None
+
+    def rounds_to_accuracy(self, target: float) -> Optional[int]:
+        """First round index whose test accuracy is >= ``target``."""
+        for r in self.records:
+            if r.test_accuracy >= target:
+                return r.round_index
+        return None
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-dict form (JSON-serializable)."""
+        return {
+            "algorithm": self.algorithm,
+            "dataset": self.dataset,
+            "config": self.config,
+            "records": [asdict(r) for r in self.records],
+        }
+
+    def to_json(self, path: str) -> None:
+        """Write the history as a JSON file."""
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.to_dict(), fh, indent=2, default=float)
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "TrainingHistory":
+        """Inverse of :meth:`to_dict`."""
+        history = cls(
+            algorithm=str(payload["algorithm"]),
+            dataset=str(payload["dataset"]),
+            config=dict(payload.get("config", {})),
+        )
+        for rec in payload.get("records", []):
+            history.append(RoundRecord(**rec))
+        return history
+
+
+def format_comparison(
+    histories: Sequence[TrainingHistory], *, metric: str = "test_accuracy"
+) -> str:
+    """Tabular text comparison of several runs (used by benches)."""
+    lines = [f"{'algorithm':>22s} {'final loss':>12s} {'best ' + metric:>16s} {'rounds':>7s}"]
+    for h in histories:
+        lines.append(
+            f"{h.algorithm:>22s} {h.final('train_loss'):12.5f} "
+            f"{h.best(metric):16.5f} {h.num_rounds:7d}"
+        )
+    return "\n".join(lines)

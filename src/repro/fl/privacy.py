@@ -1,0 +1,136 @@
+"""Differentially-private update release (clip + Gaussian noise).
+
+The paper motivates FL by on-device privacy; update-level DP is the
+standard hardening of that story: before leaving the device, the model
+update is clipped to an L2 ball of radius ``clip_norm`` and perturbed
+with Gaussian noise of scale ``noise_multiplier * clip_norm``.
+
+Accounting uses the classical Gaussian-mechanism composition: each
+release is ``(eps_round, delta)``-DP with
+``eps_round = clip-sensitivity-normalized sqrt(2 ln(1.25/delta)) /
+noise_multiplier``, and rounds compose additively (basic composition —
+deliberately conservative and dependency-free; see the docstring of
+:class:`PrivacyAccountant` for the caveat).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.utils.rng import SeedLike, as_generator
+from repro.utils.validation import check_positive
+
+
+def clip_update(update: np.ndarray, clip_norm: float) -> Tuple[np.ndarray, bool]:
+    """Project ``update`` onto the L2 ball of radius ``clip_norm``.
+
+    Returns the (possibly scaled) update and whether clipping occurred.
+    """
+    check_positive("clip_norm", clip_norm)
+    update = np.asarray(update, dtype=np.float64)
+    norm = float(np.linalg.norm(update))
+    if norm <= clip_norm or norm == 0.0:
+        return update.copy(), False
+    return update * (clip_norm / norm), True
+
+
+@dataclass
+class GaussianMechanism:
+    """Clip-and-noise release of one device's update."""
+
+    clip_norm: float
+    noise_multiplier: float
+
+    def __post_init__(self) -> None:
+        check_positive("clip_norm", self.clip_norm)
+        check_positive("noise_multiplier", self.noise_multiplier, strict=False)
+
+    def privatize(
+        self, update: np.ndarray, rng: SeedLike = None
+    ) -> np.ndarray:
+        """Clip then add isotropic Gaussian noise."""
+        clipped, _ = clip_update(update, self.clip_norm)
+        if self.noise_multiplier == 0.0:
+            return clipped
+        gen = as_generator(rng)
+        sigma = self.noise_multiplier * self.clip_norm
+        return clipped + gen.normal(0.0, sigma, size=clipped.shape)
+
+    def epsilon_per_release(self, delta: float) -> float:
+        """(eps, delta) of a single release via the Gaussian mechanism.
+
+        ``sigma = noise_multiplier * sensitivity`` gives
+        ``eps = sqrt(2 ln(1.25/delta)) / noise_multiplier``.
+        """
+        if not 0.0 < delta < 1.0:
+            raise ConfigurationError(f"delta must be in (0,1), got {delta}")
+        if self.noise_multiplier == 0.0:
+            return math.inf
+        return math.sqrt(2.0 * math.log(1.25 / delta)) / self.noise_multiplier
+
+
+@dataclass
+class PrivacyAccountant:
+    """Basic-composition privacy ledger across rounds.
+
+    Basic composition (eps values add) is loose compared to moments /
+    RDP accounting but is exact as an upper bound and keeps the library
+    dependency-free; treat the reported epsilon as conservative.
+    """
+
+    delta: float
+    _spent: List[float] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.delta < 1.0:
+            raise ConfigurationError(f"delta must be in (0,1), got {self.delta}")
+
+    def record_release(self, mechanism: GaussianMechanism) -> float:
+        """Charge one release; returns the cumulative epsilon."""
+        self._spent.append(mechanism.epsilon_per_release(self.delta))
+        return self.total_epsilon
+
+    @property
+    def num_releases(self) -> int:
+        """Number of charged releases."""
+        return len(self._spent)
+
+    @property
+    def total_epsilon(self) -> float:
+        """Cumulative epsilon under basic composition."""
+        return float(sum(self._spent))
+
+    def remaining(self, budget: float) -> float:
+        """Epsilon left under ``budget`` (can be negative if exceeded)."""
+        return budget - self.total_epsilon
+
+
+def privatize_round(
+    local_models: Sequence[np.ndarray],
+    w_global: np.ndarray,
+    mechanism: GaussianMechanism,
+    *,
+    accountant: PrivacyAccountant = None,
+    seed: SeedLike = None,
+) -> List[np.ndarray]:
+    """Apply the mechanism to every device's update in one round.
+
+    Each device gets an independent noise stream; the accountant (if
+    given) is charged once per round — all devices release in parallel
+    about disjoint data, so parallel composition applies across devices
+    and sequential composition across rounds.
+    """
+    w_global = np.asarray(w_global, dtype=np.float64)
+    gen = as_generator(seed)
+    out: List[np.ndarray] = []
+    for w_local in local_models:
+        update = np.asarray(w_local, dtype=np.float64) - w_global
+        out.append(w_global + mechanism.privatize(update, gen))
+    if accountant is not None:
+        accountant.record_release(mechanism)
+    return out

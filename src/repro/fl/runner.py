@@ -1,0 +1,216 @@
+"""High-level entry point: configure and run one federated experiment.
+
+``run_federated`` is the function the examples and benchmarks call: it
+estimates the smoothness constant, derives the paper's step size
+``eta = 1/(beta L)``, builds clients/solver/server, trains for ``T``
+rounds, and returns the :class:`TrainingHistory` plus the final model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.core.algorithms import make_local_solver
+from repro.datasets.base import FederatedDataset
+from repro.exceptions import ConfigurationError
+from repro.fl.client import Client
+from repro.fl.delays import DelayModel, make_uniform_delays
+from repro.fl.executor import ClientExecutor, SequentialExecutor, ThreadPoolClientExecutor
+from repro.fl.server import FederatedServer
+from repro.fl.history import TrainingHistory
+from repro.models.base import Model
+from repro.utils.rng import SeedLike, spawn_seeds
+from repro.utils.smoothness import estimate_smoothness_power_iteration
+from repro.utils.validation import check_positive, check_positive_int
+
+
+@dataclass
+class FederatedRunConfig:
+    """Everything needed to run one experiment.
+
+    Attributes mirror the paper's notation: ``num_rounds`` is ``T``,
+    ``num_local_steps`` is ``tau``, ``beta`` parametrizes the step size,
+    ``mu`` is the proximal penalty, ``batch_size`` is ``B``.
+
+    ``smoothness`` overrides the automatic ``L`` estimate; leave as
+    ``None`` to use the model's analytic value (convex models) or a
+    Hessian power-iteration probe (neural models).
+    """
+
+    algorithm: str = "fedproxvr-sarah"
+    num_rounds: int = 50
+    num_local_steps: int = 10
+    beta: float = 5.0
+    mu: float = 0.1
+    batch_size: int = 32
+    smoothness: Optional[float] = None
+    client_fraction: float = 1.0
+    eval_every: int = 1
+    executor: str = "sequential"
+    max_workers: int = 4
+    seed: int = 0
+    solver_kwargs: Dict[str, object] = field(default_factory=dict)
+    delay_model: Optional[DelayModel] = None
+
+    def __post_init__(self) -> None:
+        check_positive_int("num_rounds", self.num_rounds)
+        check_positive_int("num_local_steps", self.num_local_steps, minimum=0)
+        check_positive("beta", self.beta)
+        check_positive("mu", self.mu, strict=False)
+        check_positive_int("batch_size", self.batch_size)
+        if self.executor not in ("sequential", "thread"):
+            raise ConfigurationError(
+                f"executor must be 'sequential' or 'thread', got {self.executor!r}"
+            )
+
+
+def resolve_smoothness(
+    model: Model,
+    dataset: FederatedDataset,
+    *,
+    override: Optional[float] = None,
+    seed: SeedLike = 0,
+) -> float:
+    """Pick ``L``: explicit override > analytic formula > power iteration."""
+    if override is not None:
+        return check_positive("smoothness", override)
+    X, y = dataset.global_train()
+    analytic = model.smoothness(X)
+    if analytic is not None and analytic > 0:
+        return float(analytic)
+    w0 = model.init_parameters(seed)
+    probe = estimate_smoothness_power_iteration(
+        lambda w: model.gradient(w, X, y), w0, seed=seed
+    )
+    if probe <= 0:
+        raise ConfigurationError("could not estimate a positive smoothness L")
+    return float(probe)
+
+
+def build_clients(
+    dataset: FederatedDataset,
+    model_factory: Callable[[], Model],
+    solver,
+    *,
+    share_model: bool,
+    seed: int,
+) -> list:
+    """Instantiate one client per device shard."""
+    shared = model_factory() if share_model else None
+    clients = []
+    for dev in dataset.devices:
+        model = shared if share_model else model_factory()
+        clients.append(
+            Client(
+                client_id=dev.device_id,
+                data=dev,
+                model=model,
+                solver=solver,
+                base_seed=seed,
+            )
+        )
+    return clients
+
+
+def run_federated(
+    dataset: FederatedDataset,
+    model_factory: Callable[[], Model],
+    config: FederatedRunConfig,
+    *,
+    w0: Optional[np.ndarray] = None,
+    verbose: bool = False,
+) -> Tuple[TrainingHistory, np.ndarray]:
+    """Run one federated experiment end to end.
+
+    Parameters
+    ----------
+    dataset:
+        The federated data (one shard per device).
+    model_factory:
+        Zero-argument callable building a fresh ``Model``; called once
+        under the sequential executor and once per client when running
+        on the thread pool.
+    config:
+        See :class:`FederatedRunConfig`.
+    w0:
+        Optional starting global model (defaults to the model's own
+        initialization with ``config.seed``).
+
+    Returns
+    -------
+    ``(history, w_final)``.
+    """
+    init_seed, server_seed = (s.entropy for s in spawn_seeds(config.seed, 2))
+
+    probe_model = model_factory()
+    L = resolve_smoothness(
+        probe_model, dataset, override=config.smoothness, seed=config.seed
+    )
+    eta = 1.0 / (config.beta * L)
+
+    solver = make_local_solver(
+        config.algorithm,
+        step_size=eta,
+        num_steps=config.num_local_steps,
+        batch_size=config.batch_size,
+        mu=config.mu,
+        **config.solver_kwargs,
+    )
+
+    use_threads = config.executor == "thread"
+    clients = build_clients(
+        dataset,
+        model_factory,
+        solver,
+        share_model=not use_threads,
+        seed=config.seed,
+    )
+    executor: ClientExecutor
+    if use_threads:
+        executor = ThreadPoolClientExecutor(max_workers=config.max_workers)
+    else:
+        executor = SequentialExecutor()
+
+    delay_model = config.delay_model
+    if delay_model is None:
+        delay_model = make_uniform_delays(dataset.num_devices)
+
+    server = FederatedServer(
+        clients,
+        eval_model=probe_model,
+        executor=executor,
+        delay_model=delay_model,
+        client_fraction=config.client_fraction,
+        seed=server_seed,
+    )
+    if w0 is None:
+        w0 = probe_model.init_parameters(init_seed)
+
+    run_config = {
+        "algorithm": config.algorithm,
+        "T": config.num_rounds,
+        "tau": config.num_local_steps,
+        "beta": config.beta,
+        "mu": config.mu,
+        "batch_size": config.batch_size,
+        "L": L,
+        "eta": eta,
+        "seed": config.seed,
+        **{f"solver_{k}": v for k, v in config.solver_kwargs.items()},
+    }
+    try:
+        history, w_final = server.train(
+            w0,
+            config.num_rounds,
+            algorithm_name=config.algorithm,
+            dataset_name=dataset.name,
+            config=run_config,
+            eval_every=config.eval_every,
+            verbose=verbose,
+        )
+    finally:
+        executor.close()
+    return history, w_final

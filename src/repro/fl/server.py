@@ -1,0 +1,166 @@
+"""The federated server: Alg. 1's outer loop.
+
+Per global iteration ``s``: broadcast ``w_bar^{(s-1)}``, run every
+client's local solver through the executor, aggregate the returned local
+models with the data-size weights (line 12), then record metrics and
+simulated time.  Optional client sampling (``client_fraction < 1``)
+extends the paper's full-participation protocol to the partial
+participation regime of FedAvg.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.fl.aggregation import weighted_average
+from repro.fl.client import Client
+from repro.fl.delays import DelayModel
+from repro.fl.executor import ClientExecutor, SequentialExecutor
+from repro.fl.history import RoundRecord, TrainingHistory
+from repro.fl.metrics import global_accuracy, global_loss_and_gradient_norm
+from repro.models.base import Model
+from repro.utils.rng import SeedLike, as_generator
+from repro.utils.timing import SimulatedClock
+from repro.utils.validation import check_in_range, check_positive_int
+
+
+class FederatedServer:
+    """Orchestrates global iterations over a fixed client population."""
+
+    def __init__(
+        self,
+        clients: Sequence[Client],
+        eval_model: Model,
+        *,
+        executor: Optional[ClientExecutor] = None,
+        delay_model: Optional[DelayModel] = None,
+        aggregator: Callable[..., np.ndarray] = weighted_average,
+        client_fraction: float = 1.0,
+        seed: SeedLike = 0,
+    ) -> None:
+        if not clients:
+            raise ConfigurationError("server needs >= 1 client")
+        self.clients: List[Client] = list(clients)
+        self.eval_model = eval_model
+        self.executor = executor or SequentialExecutor()
+        self.delay_model = delay_model
+        self.aggregator = aggregator
+        self.client_fraction = check_in_range(
+            "client_fraction", client_fraction, 0.0, 1.0, inclusive="right"
+        )
+        self._rng = as_generator(seed)
+        self.clock = SimulatedClock()
+        sizes = np.array([c.num_train for c in self.clients], dtype=np.float64)
+        self._weights = sizes / sizes.sum()
+
+    def _select_round_clients(self) -> List[int]:
+        n = len(self.clients)
+        if self.client_fraction >= 1.0:
+            return list(range(n))
+        k = max(1, int(round(self.client_fraction * n)))
+        return sorted(self._rng.choice(n, size=k, replace=False).tolist())
+
+    def run_round(self, w_global: np.ndarray, round_index: int) -> dict:
+        """One global iteration; returns aggregation + diagnostics."""
+        selected = self._select_round_clients()
+        participants = [self.clients[i] for i in selected]
+        results = self.executor.run_round(participants, w_global, round_index)
+
+        weights = self._weights[selected]
+        w_new = self.aggregator([r.w_local for r in results], weights)
+
+        delays: List[float] = []
+        if self.delay_model is not None:
+            if len(self.delay_model) != len(self.clients):
+                raise ConfigurationError(
+                    f"delay model covers {len(self.delay_model)} devices, "
+                    f"federation has {len(self.clients)}"
+                )
+            # Charge only the participating devices; the synchronous
+            # round costs the slowest of them (SimulatedClock takes max).
+            delays = [
+                self.delay_model.delays[i].round_delay(r.num_gradient_evaluations)
+                for i, r in zip(selected, results)
+            ]
+        self.clock.advance_round(delays if delays else [0.0])
+
+        thetas = [
+            r.achieved_accuracy
+            for r in results
+            if r.achieved_accuracy is not None and np.isfinite(r.achieved_accuracy)
+        ]
+        return {
+            "w": w_new,
+            "selected": selected,
+            "results": results,
+            "mean_local_steps": float(np.mean([r.num_steps for r in results])),
+            "mean_gradient_evaluations": float(
+                np.mean([r.num_gradient_evaluations for r in results])
+            ),
+            "mean_achieved_theta": float(np.mean(thetas)) if thetas else None,
+        }
+
+    def train(
+        self,
+        w0: np.ndarray,
+        num_rounds: int,
+        *,
+        algorithm_name: str = "",
+        dataset_name: str = "",
+        config: Optional[dict] = None,
+        eval_every: int = 1,
+        verbose: bool = False,
+    ) -> "tuple[TrainingHistory, np.ndarray]":
+        """Run ``num_rounds`` global iterations from ``w0``.
+
+        Returns ``(history, w_final)``.
+
+        Metrics are evaluated every ``eval_every`` rounds (and always on
+        the final round).  Divergent runs (non-finite loss) stop early
+        with the divergence recorded rather than raising.
+        """
+        check_positive_int("num_rounds", num_rounds)
+        check_positive_int("eval_every", eval_every)
+        history = TrainingHistory(
+            algorithm=algorithm_name or self.clients[0].solver.name,
+            dataset=dataset_name,
+            config=dict(config or {}),
+        )
+        w = np.array(w0, dtype=np.float64, copy=True)
+        start = time.perf_counter()
+        for s in range(1, num_rounds + 1):
+            outcome = self.run_round(w, s)
+            w = outcome["w"]
+            if s % eval_every == 0 or s == num_rounds:
+                loss, grad_norm = global_loss_and_gradient_norm(
+                    self.eval_model, self.clients, w
+                )
+                acc = global_accuracy(self.eval_model, self.clients, w)
+                history.append(
+                    RoundRecord(
+                        round_index=s,
+                        train_loss=loss,
+                        grad_norm=grad_norm,
+                        test_accuracy=acc,
+                        sim_time=self.clock.elapsed,
+                        wall_time=time.perf_counter() - start,
+                        mean_local_steps=outcome["mean_local_steps"],
+                        mean_gradient_evaluations=outcome[
+                            "mean_gradient_evaluations"
+                        ],
+                        mean_achieved_theta=outcome["mean_achieved_theta"],
+                    )
+                )
+                if verbose:
+                    print(
+                        f"[{history.algorithm}] round {s:4d}  "
+                        f"loss {loss:10.5f}  acc {acc:6.4f}  "
+                        f"|grad| {grad_norm:9.4f}"
+                    )
+                if not np.isfinite(loss):
+                    break
+        return history, w

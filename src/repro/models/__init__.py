@@ -1,0 +1,19 @@
+"""Model zoo exposing the flat-parameter-vector ``Model`` interface."""
+
+from repro.models.base import Model
+from repro.models.linear_regression import LinearRegressionModel
+from repro.models.logistic import MultinomialLogisticModel
+from repro.models.svm import LinearSVMModel
+from repro.models.nn_model import NNModel
+from repro.models.mlp import make_mlp_model
+from repro.models.cnn import make_paper_cnn_model
+
+__all__ = [
+    "LinearRegressionModel",
+    "LinearSVMModel",
+    "Model",
+    "MultinomialLogisticModel",
+    "NNModel",
+    "make_mlp_model",
+    "make_paper_cnn_model",
+]

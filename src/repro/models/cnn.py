@@ -1,0 +1,77 @@
+"""The paper's two-layer CNN (§5, Experimental settings).
+
+Architecture — matching the description "two 5x5 convolution layers (32
+and 64 channels ...), max pooling size 2x2 ... after each layer, ReLU
+activation, and a softmax layer at the end":
+
+``conv5x5(C->32) -> ReLU -> maxpool2 -> conv5x5(32->64) -> ReLU ->
+maxpool2 -> flatten -> dense(num_classes)`` with softmax-cross-entropy.
+
+A ``channel_scale`` knob shrinks the channel counts proportionally so
+tests and CI-scale benchmarks can run the identical code path in
+seconds; the paper-exact network is ``channel_scale=1``.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.models.nn_model import NNModel
+from repro.nn import (
+    Conv2D,
+    Dense,
+    Flatten,
+    MaxPool2D,
+    ReLU,
+    Sequential,
+    SoftmaxCrossEntropy,
+)
+from repro.utils.rng import SeedLike, spawn_seeds
+from repro.utils.validation import check_in_range, check_positive_int
+
+
+def make_paper_cnn_model(
+    image_shape: Tuple[int, int, int] = (1, 28, 28),
+    num_classes: int = 10,
+    *,
+    channel_scale: float = 1.0,
+    seed: SeedLike = 0,
+) -> NNModel:
+    """Build the paper's CNN wrapped as a flat-vector ``Model``.
+
+    Parameters
+    ----------
+    image_shape:
+        Per-sample ``(C, H, W)``; MNIST-like data is ``(1, 28, 28)``.
+    channel_scale:
+        Multiplier on the (32, 64) channel widths, in ``(0, 1]``.
+    """
+    C, H, W = (int(d) for d in image_shape)
+    check_positive_int("channels", C)
+    check_positive_int("height", H)
+    check_positive_int("width", W)
+    check_positive_int("num_classes", num_classes, minimum=2)
+    check_in_range("channel_scale", channel_scale, 0.0, 1.0, inclusive="right")
+    c1 = max(1, int(round(32 * channel_scale)))
+    c2 = max(1, int(round(64 * channel_scale)))
+
+    def build(s: SeedLike) -> Sequential:
+        seeds = spawn_seeds(s, 3)
+        conv1 = Conv2D(C, c1, 5, padding=2, seed=seeds[0])
+        pool1 = MaxPool2D(2)
+        conv2 = Conv2D(c1, c2, 5, padding=2, seed=seeds[1])
+        pool2 = MaxPool2D(2)
+        # Spatial dims after two stride-2 pools with 'same' padding.
+        h_out = (H // 2) // 2
+        w_out = (W // 2) // 2
+        head = Dense(c2 * h_out * w_out, num_classes, seed=seeds[2])
+        return Sequential(
+            [conv1, ReLU(), pool1, conv2, ReLU(), pool2, Flatten(), head]
+        )
+
+    return NNModel(
+        build(seed),
+        SoftmaxCrossEntropy(),
+        input_shape=(C, H, W),
+        builder=build,
+    )

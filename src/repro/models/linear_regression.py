@@ -1,0 +1,86 @@
+"""Linear regression with the paper's per-sample loss.
+
+``f_i(w) = (x_i^T w - y_i)^2 / 2`` — the first loss example in §3.
+Supports an optional intercept and an optional L2 ridge term
+``(l2/2)||w||^2`` (applied to weights only, not the intercept).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.models.base import Model
+from repro.utils.rng import SeedLike, as_generator
+from repro.utils.smoothness import least_squares_smoothness
+from repro.utils.validation import check_positive, check_positive_int
+
+
+class LinearRegressionModel(Model):
+    """Least-squares regression over flat parameter vectors."""
+
+    def __init__(
+        self, num_features: int, *, fit_intercept: bool = True, l2: float = 0.0
+    ) -> None:
+        self.num_features = check_positive_int("num_features", num_features)
+        self.fit_intercept = bool(fit_intercept)
+        self.l2 = check_positive("l2", l2, strict=False)
+        self.num_parameters = self.num_features + (1 if self.fit_intercept else 0)
+
+    def init_parameters(self, seed: SeedLike = None) -> np.ndarray:
+        rng = as_generator(seed)
+        return rng.standard_normal(self.num_parameters) * 0.01
+
+    def _split(self, w: np.ndarray) -> Tuple[np.ndarray, float]:
+        if self.fit_intercept:
+            return w[: self.num_features], float(w[self.num_features])
+        return w, 0.0
+
+    def _residual(self, w: np.ndarray, X: np.ndarray, y: np.ndarray) -> np.ndarray:
+        weights, intercept = self._split(w)
+        return X @ weights + intercept - y.astype(np.float64)
+
+    def loss(self, w: np.ndarray, X: np.ndarray, y: np.ndarray) -> float:
+        w, X, y = self._check_batch(w, X, y)
+        r = self._residual(w, X, y)
+        weights, _ = self._split(w)
+        return float(0.5 * np.mean(r**2) + 0.5 * self.l2 * np.dot(weights, weights))
+
+    def loss_and_gradient(
+        self, w: np.ndarray, X: np.ndarray, y: np.ndarray
+    ) -> Tuple[float, np.ndarray]:
+        w, X, y = self._check_batch(w, X, y)
+        n = X.shape[0]
+        r = self._residual(w, X, y)
+        weights, _ = self._split(w)
+        loss = float(0.5 * np.mean(r**2) + 0.5 * self.l2 * np.dot(weights, weights))
+        grad = np.empty_like(w)
+        grad_w = X.T @ r / n + self.l2 * weights
+        grad[: self.num_features] = grad_w
+        if self.fit_intercept:
+            grad[self.num_features] = float(np.mean(r))
+        return loss, grad
+
+    def predict(self, w: np.ndarray, X: np.ndarray) -> np.ndarray:
+        w = np.asarray(w, dtype=np.float64)
+        X = np.asarray(X, dtype=np.float64)
+        weights, intercept = self._split(w)
+        return X @ weights + intercept
+
+    def accuracy(self, w: np.ndarray, X: np.ndarray, y: np.ndarray) -> float:
+        """R^2 coefficient of determination (regression 'accuracy')."""
+        y = np.asarray(y, dtype=np.float64)
+        pred = self.predict(w, X)
+        ss_res = float(np.sum((y - pred) ** 2))
+        ss_tot = float(np.sum((y - y.mean()) ** 2))
+        if ss_tot == 0.0:
+            return 1.0 if ss_res == 0.0 else 0.0
+        return 1.0 - ss_res / ss_tot
+
+    def smoothness(self, X: np.ndarray) -> float:
+        base = least_squares_smoothness(X)
+        if self.fit_intercept:
+            # Intercept column of ones adds 1 to every ||x_i||^2.
+            base = float(np.max(np.einsum("ij,ij->i", X, X) + 1.0)) if len(X) else 0.0
+        return base + self.l2

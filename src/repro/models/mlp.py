@@ -1,0 +1,40 @@
+"""Multi-layer perceptron factory."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.models.nn_model import NNModel
+from repro.nn import Dense, ReLU, Sequential, SoftmaxCrossEntropy
+from repro.utils.rng import SeedLike, spawn_seeds
+from repro.utils.validation import check_positive_int
+
+
+def make_mlp_model(
+    num_features: int,
+    num_classes: int,
+    hidden_sizes: Sequence[int] = (64,),
+    *,
+    seed: SeedLike = 0,
+) -> NNModel:
+    """Build a ReLU MLP classifier wrapped as a flat-vector ``Model``.
+
+    A single hidden layer already gives a non-convex loss surface, which
+    is enough to exercise the paper's non-convex analysis on problems
+    small enough for fast tests.
+    """
+    check_positive_int("num_features", num_features)
+    check_positive_int("num_classes", num_classes, minimum=2)
+    hidden = [check_positive_int("hidden size", h) for h in hidden_sizes]
+
+    def build(s: SeedLike) -> Sequential:
+        widths = [num_features] + hidden + [num_classes]
+        layer_seeds = spawn_seeds(s, len(widths) - 1)
+        layers = []
+        for i, (w_in, w_out) in enumerate(zip(widths[:-1], widths[1:])):
+            layers.append(Dense(w_in, w_out, seed=layer_seeds[i]))
+            if i < len(widths) - 2:
+                layers.append(ReLU())
+        return Sequential(layers)
+
+    return NNModel(build(seed), SoftmaxCrossEntropy(), builder=build)

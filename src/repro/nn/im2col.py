@@ -1,0 +1,132 @@
+"""im2col / col2im: the vectorization backbone of the Conv2D layer.
+
+Convolution as matrix multiplication: every receptive-field patch is
+unrolled into a column, so the convolution becomes a single GEMM — the
+classic HPC trick that turns a six-deep Python loop into one BLAS call.
+``im2col`` is implemented with stride tricks (a zero-copy sliding-window
+view followed by one reshape-copy), ``col2im`` with ``np.add.at``
+scatter-accumulation.
+
+Layout conventions: images are ``(N, C, H, W)``; columns are
+``(C*KH*KW, N*OH*OW)``.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+from numpy.lib.stride_tricks import as_strided
+
+from repro.exceptions import ConfigurationError, DimensionMismatchError
+
+
+def conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
+    """Spatial output size of a convolution/pooling along one axis."""
+    out = (size + 2 * padding - kernel) // stride + 1
+    if out <= 0:
+        raise ConfigurationError(
+            f"non-positive conv output size for input={size}, kernel={kernel}, "
+            f"stride={stride}, padding={padding}"
+        )
+    return out
+
+
+def _check_geometry(
+    x_shape: Tuple[int, int, int, int], kernel: Tuple[int, int], stride: int, padding: int
+) -> Tuple[int, int]:
+    if len(x_shape) != 4:
+        raise DimensionMismatchError(f"expected NCHW input, got shape {x_shape}")
+    if stride < 1 or padding < 0:
+        raise ConfigurationError(f"invalid stride={stride} or padding={padding}")
+    _, _, H, W = x_shape
+    kh, kw = kernel
+    return (
+        conv_output_size(H, kh, stride, padding),
+        conv_output_size(W, kw, stride, padding),
+    )
+
+
+def sliding_windows(
+    x: np.ndarray, kernel: Tuple[int, int], stride: int
+) -> np.ndarray:
+    """Zero-copy view of all ``(kh, kw)`` windows of an NCHW array.
+
+    Returns shape ``(N, C, OH, OW, KH, KW)``.  The caller must not
+    mutate the view (it aliases ``x`` heavily).
+    """
+    N, C, H, W = x.shape
+    kh, kw = kernel
+    oh = (H - kh) // stride + 1
+    ow = (W - kw) // stride + 1
+    sn, sc, sh, sw = x.strides
+    return as_strided(
+        x,
+        shape=(N, C, oh, ow, kh, kw),
+        strides=(sn, sc, sh * stride, sw * stride, sh, sw),
+        writeable=False,
+    )
+
+
+def im2col(
+    x: np.ndarray, kernel: Tuple[int, int], stride: int = 1, padding: int = 0
+) -> np.ndarray:
+    """Unroll image patches into columns.
+
+    Parameters
+    ----------
+    x:
+        Input images ``(N, C, H, W)``.
+
+    Returns
+    -------
+    Columns of shape ``(C*KH*KW, N*OH*OW)`` where each column is one
+    receptive field, ordered with the batch index slowest.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    oh, ow = _check_geometry(x.shape, kernel, stride, padding)
+    if padding > 0:
+        x = np.pad(
+            x, ((0, 0), (0, 0), (padding, padding), (padding, padding)), mode="constant"
+        )
+    windows = sliding_windows(x, kernel, stride)
+    N, C = x.shape[0], x.shape[1]
+    kh, kw = kernel
+    # (N, C, OH, OW, KH, KW) -> (C, KH, KW, N, OH, OW) -> 2-D
+    cols = windows.transpose(1, 4, 5, 0, 2, 3).reshape(C * kh * kw, N * oh * ow)
+    return np.ascontiguousarray(cols)
+
+
+def col2im(
+    cols: np.ndarray,
+    x_shape: Tuple[int, int, int, int],
+    kernel: Tuple[int, int],
+    stride: int = 1,
+    padding: int = 0,
+) -> np.ndarray:
+    """Adjoint of :func:`im2col`: scatter-add columns back to image space.
+
+    Overlapping patches accumulate, which makes ``col2im`` the exact
+    transpose operator needed by the convolution backward pass.
+    """
+    N, C, H, W = x_shape
+    kh, kw = kernel
+    oh, ow = _check_geometry(x_shape, kernel, stride, padding)
+    if cols.shape != (C * kh * kw, N * oh * ow):
+        raise DimensionMismatchError(
+            f"cols shape {cols.shape} inconsistent with image shape {x_shape}, "
+            f"kernel {kernel}, stride {stride}, padding {padding}"
+        )
+    Hp, Wp = H + 2 * padding, W + 2 * padding
+    padded = np.zeros((N, C, Hp, Wp), dtype=np.float64)
+    patches = cols.reshape(C, kh, kw, N, oh, ow).transpose(3, 0, 4, 5, 1, 2)
+    # Accumulate each kernel offset as a strided slice add: O(kh*kw)
+    # vectorized adds instead of a Python loop over every patch.
+    for i in range(kh):
+        h_end = i + stride * oh
+        for j in range(kw):
+            w_end = j + stride * ow
+            padded[:, :, i:h_end:stride, j:w_end:stride] += patches[:, :, :, :, i, j]
+    if padding > 0:
+        return padded[:, :, padding:-padding, padding:-padding]
+    return padded

@@ -1,0 +1,64 @@
+"""Weight initializers.
+
+Each initializer takes the target shape, a fan-in/fan-out pair, and a
+:class:`numpy.random.Generator`, returning a float64 array.  Explicit
+generators keep whole-model initialization reproducible from one seed.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+
+def zeros(shape: Tuple[int, ...], fans: Tuple[int, int], rng: np.random.Generator) -> np.ndarray:
+    """All-zero initialization (used for biases)."""
+    del fans, rng
+    return np.zeros(shape, dtype=np.float64)
+
+
+def glorot_uniform(
+    shape: Tuple[int, ...], fans: Tuple[int, int], rng: np.random.Generator
+) -> np.ndarray:
+    """Glorot/Xavier uniform: ``U(-a, a)`` with ``a = sqrt(6/(fan_in+fan_out))``."""
+    fan_in, fan_out = fans
+    limit = np.sqrt(6.0 / max(1, fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape).astype(np.float64)
+
+
+def he_normal(
+    shape: Tuple[int, ...], fans: Tuple[int, int], rng: np.random.Generator
+) -> np.ndarray:
+    """He/Kaiming normal: ``N(0, sqrt(2/fan_in))`` — suited to ReLU nets."""
+    fan_in, _ = fans
+    std = np.sqrt(2.0 / max(1, fan_in))
+    return (rng.standard_normal(shape) * std).astype(np.float64)
+
+
+def normal_scaled(
+    shape: Tuple[int, ...], fans: Tuple[int, int], rng: np.random.Generator
+) -> np.ndarray:
+    """Plain ``N(0, 0.01)`` initialization (legacy baseline)."""
+    del fans
+    return (rng.standard_normal(shape) * 0.01).astype(np.float64)
+
+
+_REGISTRY = {
+    "zeros": zeros,
+    "glorot_uniform": glorot_uniform,
+    "he_normal": he_normal,
+    "normal_scaled": normal_scaled,
+}
+
+
+def get(name: str):
+    """Look up an initializer by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown initializer {name!r}; choices: {sorted(_REGISTRY)}"
+        ) from None

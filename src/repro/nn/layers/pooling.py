@@ -1,0 +1,84 @@
+"""Max-pooling layer."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, DimensionMismatchError
+from repro.nn.im2col import conv_output_size, sliding_windows
+from repro.nn.module import Module
+
+
+class MaxPool2D(Module):
+    """Non-overlapping-or-strided 2-D max pooling over NCHW inputs.
+
+    The forward pass uses the zero-copy sliding-window view, reducing
+    over the window axes; the backward pass routes each upstream
+    gradient to the argmax location of its window (ties go to the first
+    maximum in row-major window order, matching ``argmax`` semantics).
+    """
+
+    def __init__(
+        self,
+        pool_size: Union[int, Tuple[int, int]] = 2,
+        *,
+        stride: Optional[int] = None,
+    ) -> None:
+        if isinstance(pool_size, tuple):
+            self.pool_size = (int(pool_size[0]), int(pool_size[1]))
+        else:
+            self.pool_size = (int(pool_size), int(pool_size))
+        if min(self.pool_size) < 1:
+            raise ConfigurationError(f"invalid pool_size {self.pool_size}")
+        self.stride = int(stride) if stride is not None else self.pool_size[0]
+        if self.stride < 1:
+            raise ConfigurationError(f"invalid stride {self.stride}")
+        self._cache_x_shape: Optional[Tuple[int, int, int, int]] = None
+        self._cache_argmax: Optional[np.ndarray] = None
+
+    def output_shape(self, input_shape: Tuple[int, int, int]) -> Tuple[int, int, int]:
+        """Per-sample output shape ``(C, OH, OW)`` for a CHW input."""
+        C, H, W = input_shape
+        ph, pw = self.pool_size
+        oh = conv_output_size(H, ph, self.stride, 0)
+        ow = conv_output_size(W, pw, self.stride, 0)
+        return (C, oh, ow)
+
+    def forward(self, x: np.ndarray, *, train: bool = True) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 4:
+            raise DimensionMismatchError(f"MaxPool2D expected NCHW, got {x.shape}")
+        windows = sliding_windows(x, self.pool_size, self.stride)
+        N, C, oh, ow, ph, pw = windows.shape
+        flat = windows.reshape(N, C, oh, ow, ph * pw)
+        if train:
+            self._cache_x_shape = x.shape
+            self._cache_argmax = np.argmax(flat, axis=-1)
+        return flat.max(axis=-1)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cache_x_shape is None or self._cache_argmax is None:
+            raise RuntimeError("backward called before forward(train=True)")
+        N, C, H, W = self._cache_x_shape
+        argmax = self._cache_argmax
+        oh, ow = argmax.shape[2], argmax.shape[3]
+        grad_output = np.asarray(grad_output, dtype=np.float64)
+        if grad_output.shape != (N, C, oh, ow):
+            raise DimensionMismatchError(
+                f"grad_output shape {grad_output.shape} != {(N, C, oh, ow)}"
+            )
+        ph, pw = self.pool_size
+        grad_input = np.zeros((N, C, H, W), dtype=np.float64)
+        # Decode window-local argmax to absolute coordinates, then
+        # scatter-add (windows may overlap when stride < pool size).
+        local_r, local_c = np.divmod(argmax, pw)
+        base_r = np.arange(oh)[None, None, :, None] * self.stride
+        base_c = np.arange(ow)[None, None, None, :] * self.stride
+        rows = (base_r + local_r).ravel()
+        cols = (base_c + local_c).ravel()
+        n_idx = np.repeat(np.arange(N), C * oh * ow)
+        c_idx = np.tile(np.repeat(np.arange(C), oh * ow), N)
+        np.add.at(grad_input, (n_idx, c_idx, rows, cols), grad_output.ravel())
+        return grad_input

@@ -1,0 +1,127 @@
+"""Loss heads: scalar loss + gradient with respect to the scores.
+
+Each loss exposes ``value(scores, y)`` (mean over the batch) and
+``value_and_grad(scores, y)``; gradients are already divided by the
+batch size so that chaining ``grad`` through ``Module.backward`` yields
+the gradient of the *mean* loss — the ``(1/D_n) sum_i f_i`` of eq. (1).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.exceptions import DimensionMismatchError
+
+
+def _check_scores_labels(scores: np.ndarray, y: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    scores = np.asarray(scores, dtype=np.float64)
+    y = np.asarray(y)
+    if scores.ndim != 2:
+        raise DimensionMismatchError(f"scores must be 2-D, got shape {scores.shape}")
+    if y.shape[0] != scores.shape[0]:
+        raise DimensionMismatchError(
+            f"labels length {y.shape[0]} != batch size {scores.shape[0]}"
+        )
+    return scores, y
+
+
+def log_softmax(scores: np.ndarray) -> np.ndarray:
+    """Numerically stable log-softmax along the class axis."""
+    shifted = scores - scores.max(axis=1, keepdims=True)
+    return shifted - np.log(np.exp(shifted).sum(axis=1, keepdims=True))
+
+
+def softmax(scores: np.ndarray) -> np.ndarray:
+    """Numerically stable softmax along the class axis."""
+    shifted = scores - scores.max(axis=1, keepdims=True)
+    e = np.exp(shifted)
+    return e / e.sum(axis=1, keepdims=True)
+
+
+class SoftmaxCrossEntropy:
+    """Softmax + negative log likelihood over integer class labels."""
+
+    def value(self, scores: np.ndarray, y: np.ndarray) -> float:
+        scores, y = _check_scores_labels(scores, y)
+        ls = log_softmax(scores)
+        return float(-ls[np.arange(scores.shape[0]), y.astype(int)].mean())
+
+    def value_and_grad(
+        self, scores: np.ndarray, y: np.ndarray
+    ) -> Tuple[float, np.ndarray]:
+        scores, y = _check_scores_labels(scores, y)
+        n = scores.shape[0]
+        ls = log_softmax(scores)
+        idx = np.arange(n)
+        loss = float(-ls[idx, y.astype(int)].mean())
+        grad = np.exp(ls)
+        grad[idx, y.astype(int)] -= 1.0
+        grad /= n
+        return loss, grad
+
+
+class MeanSquaredError:
+    """``mean_i ||scores_i - y_i||^2 / 2`` (per-sample 1/2 factor).
+
+    Accepts ``y`` as a vector (single-output regression) or a matrix
+    matching ``scores``.
+    """
+
+    def value(self, scores: np.ndarray, y: np.ndarray) -> float:
+        scores, y = _check_scores_labels(scores, y)
+        y2 = y.reshape(scores.shape).astype(np.float64)
+        return float(0.5 * np.mean(np.sum((scores - y2) ** 2, axis=1)))
+
+    def value_and_grad(
+        self, scores: np.ndarray, y: np.ndarray
+    ) -> Tuple[float, np.ndarray]:
+        scores, y = _check_scores_labels(scores, y)
+        y2 = y.reshape(scores.shape).astype(np.float64)
+        diff = scores - y2
+        loss = float(0.5 * np.mean(np.sum(diff**2, axis=1)))
+        return loss, diff / scores.shape[0]
+
+
+class MulticlassHinge:
+    """Crammer–Singer multiclass hinge: ``max(0, 1 + max_{j!=y} s_j - s_y)``.
+
+    The binary special case with scores ``(x^T w)`` matches the paper's
+    SVM example ``max(0, 1 - y x^T w)``.  Subgradient at the hinge kink
+    follows the convention of zero slope at exactly-zero margin violation.
+    """
+
+    def _margins(self, scores: np.ndarray, y: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        n = scores.shape[0]
+        idx = np.arange(n)
+        correct = scores[idx, y.astype(int)]
+        masked = scores.copy()
+        masked[idx, y.astype(int)] = -np.inf
+        runner_up = masked.argmax(axis=1)
+        margins = 1.0 + scores[idx, runner_up] - correct
+        return margins, runner_up
+
+    def value(self, scores: np.ndarray, y: np.ndarray) -> float:
+        scores, y = _check_scores_labels(scores, y)
+        if scores.shape[1] < 2:
+            raise DimensionMismatchError("MulticlassHinge needs >= 2 classes")
+        margins, _ = self._margins(scores, y)
+        return float(np.maximum(margins, 0.0).mean())
+
+    def value_and_grad(
+        self, scores: np.ndarray, y: np.ndarray
+    ) -> Tuple[float, np.ndarray]:
+        scores, y = _check_scores_labels(scores, y)
+        if scores.shape[1] < 2:
+            raise DimensionMismatchError("MulticlassHinge needs >= 2 classes")
+        n = scores.shape[0]
+        idx = np.arange(n)
+        margins, runner_up = self._margins(scores, y)
+        active = margins > 0.0
+        loss = float(np.maximum(margins, 0.0).mean())
+        grad = np.zeros_like(scores)
+        grad[idx[active], runner_up[active]] = 1.0
+        grad[idx[active], y.astype(int)[active]] = -1.0
+        grad /= n
+        return loss, grad

@@ -1,0 +1,58 @@
+"""Sequential container chaining layers."""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List
+
+import numpy as np
+
+from repro.nn.module import Module
+
+
+class Sequential(Module):
+    """Composition of layers applied in order.
+
+    ``forward`` threads activations through every layer; ``backward``
+    runs the chain rule in reverse.  Parameters and gradients are the
+    concatenation of the layers' lists, in layer order, which gives a
+    stable flat-vector layout for :class:`repro.models.nn_model.NNModel`.
+    """
+
+    def __init__(self, layers: Iterable[Module]) -> None:
+        self.layers: List[Module] = list(layers)
+        if not self.layers:
+            raise ValueError("Sequential requires at least one layer")
+
+    def forward(self, x: np.ndarray, *, train: bool = True) -> np.ndarray:
+        out = x
+        for layer in self.layers:
+            out = layer.forward(out, train=train)
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        grad = grad_output
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+        return grad
+
+    def parameters(self) -> List[np.ndarray]:
+        params: List[np.ndarray] = []
+        for layer in self.layers:
+            params.extend(layer.parameters())
+        return params
+
+    def gradients(self) -> List[np.ndarray]:
+        grads: List[np.ndarray] = []
+        for layer in self.layers:
+            grads.extend(layer.gradients())
+        return grads
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self.layers)
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        inner = ", ".join(type(layer).__name__ for layer in self.layers)
+        return f"Sequential([{inner}], params={self.num_parameters})"

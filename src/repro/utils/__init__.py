@@ -1,0 +1,40 @@
+"""Shared utilities: RNG management, parameter vectors, timing, checks."""
+
+from repro.utils.rng import as_generator, spawn_generators, spawn_seeds
+from repro.utils.parameter_vector import (
+    ParameterSpec,
+    flatten_arrays,
+    unflatten_vector,
+)
+from repro.utils.smoothness import (
+    estimate_smoothness_power_iteration,
+    logistic_smoothness,
+    least_squares_smoothness,
+)
+from repro.utils.timing import SimulatedClock, WallClockTimer
+from repro.utils.validation import (
+    check_positive,
+    check_probability,
+    check_in_range,
+    check_array_2d,
+    check_same_length,
+)
+
+__all__ = [
+    "ParameterSpec",
+    "SimulatedClock",
+    "WallClockTimer",
+    "as_generator",
+    "check_array_2d",
+    "check_in_range",
+    "check_positive",
+    "check_probability",
+    "check_same_length",
+    "estimate_smoothness_power_iteration",
+    "flatten_arrays",
+    "least_squares_smoothness",
+    "logistic_smoothness",
+    "spawn_generators",
+    "spawn_seeds",
+    "unflatten_vector",
+]

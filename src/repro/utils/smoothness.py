@@ -1,0 +1,132 @@
+"""Estimation of the smoothness constant ``L`` (Assumption 1, eq. (3)).
+
+The step size of every algorithm in the paper is ``eta = 1/(beta * L)``,
+so a usable ``L`` estimate is part of the system.  We provide analytic
+values for the convex models (logistic regression, least squares) and a
+Hessian-free power-iteration estimator that works for any model exposing
+gradients, matching how the paper says ``L`` "can be estimated by
+sampling [the] real-world dataset" (Fig. 1 caption).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.exceptions import ConvergenceError
+from repro.utils.rng import SeedLike, as_generator
+from repro.utils.validation import check_array_2d, check_positive
+
+
+def least_squares_smoothness(X: np.ndarray) -> float:
+    """Smoothness of per-sample squared loss ``f_i(w) = (x_i^T w - y_i)^2 / 2``.
+
+    ``grad^2 f_i = x_i x_i^T`` has largest eigenvalue ``||x_i||^2``; the
+    per-sample ``L`` of Assumption 1 is the max over samples.
+    """
+    X = check_array_2d("X", X)
+    if X.shape[0] == 0:
+        return 0.0
+    return float(np.max(np.einsum("ij,ij->i", X, X)))
+
+
+def logistic_smoothness(X: np.ndarray, num_classes: int = 2) -> float:
+    """Smoothness of per-sample (multinomial) logistic loss.
+
+    For binary logistic regression the Hessian is bounded by
+    ``||x_i||^2 / 4``; for the multinomial softmax loss the bound is
+    ``||x_i||^2 / 2`` (largest eigenvalue of ``diag(p) - p p^T`` is at
+    most ``1/2``).  We use the per-sample maximum, as Assumption 1 is a
+    per-sample condition.
+    """
+    X = check_array_2d("X", X)
+    if X.shape[0] == 0:
+        return 0.0
+    scale = 0.25 if num_classes == 2 else 0.5
+    return float(scale * np.max(np.einsum("ij,ij->i", X, X)))
+
+
+def estimate_smoothness_power_iteration(
+    gradient: Callable[[np.ndarray], np.ndarray],
+    w0: np.ndarray,
+    *,
+    num_iterations: int = 30,
+    perturbation: float = 1e-4,
+    seed: SeedLike = None,
+    tol: float = 1e-6,
+) -> float:
+    """Estimate ``L`` as the top Hessian eigenvalue magnitude at ``w0``.
+
+    Uses power iteration on the Hessian-vector product approximated with
+    central finite differences of ``gradient``:
+
+    ``H v ~ (grad(w0 + r v) - grad(w0 - r v)) / (2 r)``.
+
+    This never forms the Hessian, so it scales to CNN-sized parameter
+    vectors.  Returns the Rayleigh-quotient magnitude after
+    ``num_iterations`` steps or earlier on stagnation.
+    """
+    check_positive("num_iterations", num_iterations)
+    check_positive("perturbation", perturbation)
+    w0 = np.asarray(w0, dtype=np.float64)
+    rng = as_generator(seed)
+    v = rng.standard_normal(w0.size)
+    norm = np.linalg.norm(v)
+    if norm == 0.0:  # pragma: no cover - measure-zero event
+        raise ConvergenceError("power iteration started with a zero vector")
+    v /= norm
+    eigenvalue = 0.0
+    for _ in range(int(num_iterations)):
+        hv = (
+            gradient(w0 + perturbation * v) - gradient(w0 - perturbation * v)
+        ) / (2.0 * perturbation)
+        new_eigenvalue = float(np.dot(v, hv))
+        hv_norm = np.linalg.norm(hv)
+        if hv_norm < 1e-15:
+            # Hessian annihilates v (e.g. dead ReLU region): L ~ 0 here.
+            return abs(new_eigenvalue)
+        v = hv / hv_norm
+        if abs(new_eigenvalue - eigenvalue) <= tol * max(1.0, abs(eigenvalue)):
+            eigenvalue = new_eigenvalue
+            break
+        eigenvalue = new_eigenvalue
+    return abs(eigenvalue)
+
+
+def estimate_lower_curvature(
+    gradient: Callable[[np.ndarray], np.ndarray],
+    w0: np.ndarray,
+    *,
+    num_probes: int = 16,
+    perturbation: float = 1e-4,
+    seed: SeedLike = None,
+) -> float:
+    """Estimate the paper's ``lambda`` (bound on negative curvature).
+
+    Assumption 1 requires ``F_n`` to be ``(-lambda)``-strongly convex:
+    curvature is bounded below by ``-lambda``.  We probe random Rayleigh
+    quotients of the Hessian and return ``max(0, -min quotient)``; for a
+    convex model this is ~0, for a non-convex one it is a useful scale
+    for choosing ``mu > lambda``.
+    """
+    w0 = np.asarray(w0, dtype=np.float64)
+    rng = as_generator(seed)
+    worst = np.inf
+    for _ in range(int(num_probes)):
+        v = rng.standard_normal(w0.size)
+        v /= np.linalg.norm(v)
+        hv = (
+            gradient(w0 + perturbation * v) - gradient(w0 - perturbation * v)
+        ) / (2.0 * perturbation)
+        worst = min(worst, float(np.dot(v, hv)))
+    if not np.isfinite(worst):
+        return 0.0
+    return max(0.0, -worst)
+
+
+def suggest_step_size(L: float, beta: float) -> float:
+    """The paper's parametrized step size ``eta = 1 / (beta * L)``."""
+    check_positive("L", L)
+    check_positive("beta", beta)
+    return 1.0 / (beta * L)

@@ -1,0 +1,81 @@
+"""Clocks: a simulated federated-training clock and a wall-clock timer.
+
+The paper's training-time objective (eq. (19)) is
+``T * (d_com + d_cmp * tau)`` — simulated time, not wall time.  The
+:class:`SimulatedClock` accumulates per-round delays under the
+synchronous-round semantics of Alg. 1 (a round costs the *maximum*
+client delay, since the server waits for all devices).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List
+
+
+@dataclass
+class SimulatedClock:
+    """Accumulates simulated elapsed time across federated rounds."""
+
+    elapsed: float = 0.0
+    round_durations: List[float] = field(default_factory=list)
+
+    def advance_round(self, client_delays: Iterable[float], server_delay: float = 0.0) -> float:
+        """Advance by one synchronous round.
+
+        The round takes ``max(client delays) + server_delay`` because
+        aggregation (Alg. 1 line 12) waits for the slowest device.
+        Returns the round duration.
+        """
+        delays = list(client_delays)
+        if any(d < 0 for d in delays) or server_delay < 0:
+            raise ValueError("delays must be non-negative")
+        duration = (max(delays) if delays else 0.0) + server_delay
+        self.elapsed += duration
+        self.round_durations.append(duration)
+        return duration
+
+    def reset(self) -> None:
+        """Zero the clock and clear history."""
+        self.elapsed = 0.0
+        self.round_durations.clear()
+
+
+class WallClockTimer:
+    """Context-manager stopwatch with named laps.
+
+    Used by the benchmark harness to attribute wall time to phases
+    (data generation, local solves, aggregation) when profiling — per
+    the "no optimization without measuring" rule of the domain guides.
+    """
+
+    def __init__(self) -> None:
+        self.laps: Dict[str, float] = {}
+        self._start: float = 0.0
+        self._label: str = ""
+
+    def lap(self, label: str) -> "WallClockTimer":
+        """Select the lap label for the next ``with`` block."""
+        self._label = label
+        return self
+
+    def __enter__(self) -> "WallClockTimer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        elapsed = time.perf_counter() - self._start
+        label = self._label or "unlabeled"
+        self.laps[label] = self.laps.get(label, 0.0) + elapsed
+        self._label = ""
+
+    @property
+    def total(self) -> float:
+        """Sum of all recorded laps in seconds."""
+        return sum(self.laps.values())
+
+    def summary(self) -> str:
+        """Human-readable per-lap breakdown, longest first."""
+        rows = sorted(self.laps.items(), key=lambda kv: -kv[1])
+        return "\n".join(f"{label:>24s}: {secs:8.3f}s" for label, secs in rows)

@@ -1,0 +1,101 @@
+"""Lightweight argument validation helpers.
+
+These raise :class:`repro.exceptions.ConfigurationError` (a ``ValueError``
+subclass) with messages that name the offending argument, so misuse is
+caught at the public-API boundary instead of deep inside NumPy.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, DimensionMismatchError
+
+
+def check_positive(name: str, value: float, *, strict: bool = True) -> float:
+    """Validate that ``value`` is positive (or non-negative)."""
+    value = float(value)
+    if not np.isfinite(value):
+        raise ConfigurationError(f"{name} must be finite, got {value}")
+    if strict and value <= 0:
+        raise ConfigurationError(f"{name} must be > 0, got {value}")
+    if not strict and value < 0:
+        raise ConfigurationError(f"{name} must be >= 0, got {value}")
+    return value
+
+
+def check_probability(name: str, value: float) -> float:
+    """Validate ``value`` lies in ``[0, 1]``."""
+    value = float(value)
+    if not 0.0 <= value <= 1.0:
+        raise ConfigurationError(f"{name} must be in [0, 1], got {value}")
+    return value
+
+
+def check_in_range(
+    name: str,
+    value: float,
+    low: float,
+    high: float,
+    *,
+    inclusive: str = "both",
+) -> float:
+    """Validate ``value`` lies in an interval.
+
+    ``inclusive`` is one of ``"both"``, ``"left"``, ``"right"``,
+    ``"neither"``.
+    """
+    value = float(value)
+    left_ok = value >= low if inclusive in ("both", "left") else value > low
+    right_ok = value <= high if inclusive in ("both", "right") else value < high
+    if not (left_ok and right_ok):
+        brackets = {
+            "both": ("[", "]"),
+            "left": ("[", ")"),
+            "right": ("(", "]"),
+            "neither": ("(", ")"),
+        }
+        lo, hi = brackets[inclusive]
+        raise ConfigurationError(
+            f"{name} must be in {lo}{low}, {high}{hi}, got {value}"
+        )
+    return value
+
+
+def check_positive_int(name: str, value: int, *, minimum: int = 1) -> int:
+    """Validate ``value`` is an integer ``>= minimum``."""
+    if int(value) != value:
+        raise ConfigurationError(f"{name} must be an integer, got {value!r}")
+    value = int(value)
+    if value < minimum:
+        raise ConfigurationError(f"{name} must be >= {minimum}, got {value}")
+    return value
+
+
+def check_array_2d(name: str, array: np.ndarray) -> np.ndarray:
+    """Validate ``array`` is a 2-D float array; returns it as float64."""
+    array = np.asarray(array, dtype=np.float64)
+    if array.ndim != 2:
+        raise DimensionMismatchError(
+            f"{name} must be 2-D (samples x features), got shape {array.shape}"
+        )
+    return array
+
+
+def check_same_length(name_a: str, a: Sequence, name_b: str, b: Sequence) -> None:
+    """Validate two sequences have matching leading length."""
+    if len(a) != len(b):
+        raise DimensionMismatchError(
+            f"{name_a} and {name_b} must have equal length: {len(a)} != {len(b)}"
+        )
+
+
+def check_choice(name: str, value: str, choices: Sequence[str]) -> str:
+    """Validate ``value`` is one of ``choices``."""
+    if value not in choices:
+        raise ConfigurationError(
+            f"{name} must be one of {sorted(choices)}, got {value!r}"
+        )
+    return value

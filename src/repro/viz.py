@@ -1,0 +1,109 @@
+"""Dependency-free terminal visualization of training histories.
+
+The benchmark harness prints series rather than drawing figures (no
+plotting dependencies are available offline); this module makes those
+series legible: unicode sparklines, aligned multi-run loss tables, and
+a coarse ASCII line chart for convergence curves.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.fl.history import TrainingHistory
+
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float], *, width: Optional[int] = None) -> str:
+    """Render a numeric series as a unicode sparkline.
+
+    Non-finite values render as ``!``; a constant series renders at the
+    lowest level.  ``width`` optionally downsamples long series by
+    block-averaging.
+    """
+    data = np.asarray(list(values), dtype=np.float64)
+    if data.size == 0:
+        return ""
+    if width is not None and data.size > width:
+        # block-average into `width` buckets
+        edges = np.linspace(0, data.size, width + 1).astype(int)
+        data = np.array(
+            [np.nanmean(data[a:b]) if b > a else np.nan for a, b in zip(edges, edges[1:])]
+        )
+    finite = data[np.isfinite(data)]
+    if finite.size == 0:
+        return "!" * data.size
+    lo, hi = float(finite.min()), float(finite.max())
+    span = hi - lo
+    chars = []
+    for v in data:
+        if not np.isfinite(v):
+            chars.append("!")
+        elif span == 0.0:
+            chars.append(_SPARK_LEVELS[0])
+        else:
+            level = int(round((v - lo) / span * (len(_SPARK_LEVELS) - 1)))
+            chars.append(_SPARK_LEVELS[level])
+    return "".join(chars)
+
+
+def history_sparklines(
+    histories: Sequence[TrainingHistory],
+    *,
+    metric: str = "train_loss",
+    width: int = 40,
+) -> str:
+    """One labeled sparkline per run, on a shared scale annotation."""
+    lines = []
+    for h in histories:
+        series = h.series(metric)
+        if not series:
+            lines.append(f"{h.algorithm:>20s}  (no records)")
+            continue
+        lines.append(
+            f"{h.algorithm:>20s}  {sparkline(series, width=width)}  "
+            f"[{series[0]:.4g} -> {series[-1]:.4g}]"
+        )
+    return "\n".join(lines)
+
+
+def ascii_chart(
+    histories: Sequence[TrainingHistory],
+    *,
+    metric: str = "train_loss",
+    height: int = 12,
+    width: int = 60,
+) -> str:
+    """Coarse multi-series ASCII line chart (one symbol per run)."""
+    symbols = "*o+x#@%&"
+    all_series: List[np.ndarray] = []
+    for h in histories:
+        s = np.asarray(h.series(metric), dtype=np.float64)
+        all_series.append(s[np.isfinite(s)])
+    nonempty = [s for s in all_series if s.size]
+    finite = np.concatenate(nonempty) if nonempty else np.array([])
+    if finite.size == 0:
+        return "(no finite data)"
+    lo, hi = float(finite.min()), float(finite.max())
+    span = hi - lo or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for run_idx, series in enumerate(all_series):
+        if series.size == 0:
+            continue
+        sym = symbols[run_idx % len(symbols)]
+        for j in range(width):
+            src = min(series.size - 1, int(j / max(1, width - 1) * (series.size - 1)))
+            row = int((hi - series[src]) / span * (height - 1))
+            grid[row][j] = sym
+    lines = [f"{hi:10.4g} ┤" + "".join(grid[0])]
+    lines += ["           │" + "".join(row) for row in grid[1:-1]]
+    lines.append(f"{lo:10.4g} ┤" + "".join(grid[-1]))
+    legend = "  ".join(
+        f"{symbols[i % len(symbols)]}={h.algorithm}" for i, h in enumerate(histories)
+    )
+    lines.append("           " + legend)
+    return "\n".join(lines)

@@ -1,0 +1,69 @@
+"""Shared fixtures: small, fast federated problems reused across tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import make_synthetic
+from repro.models import MultinomialLogisticModel
+
+
+@pytest.fixture(scope="session")
+def rng():
+    """Session RNG for ad-hoc draws (tests needing isolation make their own)."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset():
+    """A 6-device synthetic federation small enough for per-test training."""
+    return make_synthetic(
+        alpha=1.0,
+        beta=1.0,
+        num_devices=6,
+        num_features=12,
+        num_classes=4,
+        min_size=30,
+        max_size=80,
+        seed=7,
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_model_factory(tiny_dataset):
+    """Factory for a logistic model matching ``tiny_dataset``."""
+
+    def factory():
+        return MultinomialLogisticModel(
+            tiny_dataset.num_features, tiny_dataset.num_classes
+        )
+
+    return factory
+
+
+@pytest.fixture()
+def small_batch(rng):
+    """A small (X, y) classification batch: 20 samples, 8 features, 3 classes."""
+    X = rng.standard_normal((20, 8))
+    y = rng.integers(0, 3, size=20)
+    return X, y
+
+
+def finite_difference_gradient(loss_fn, w, eps: float = 1e-6) -> np.ndarray:
+    """Central-difference gradient of a scalar function (test helper)."""
+    w = np.asarray(w, dtype=np.float64)
+    grad = np.zeros_like(w)
+    for i in range(w.size):
+        wp = w.copy()
+        wm = w.copy()
+        wp[i] += eps
+        wm[i] -= eps
+        grad[i] = (loss_fn(wp) - loss_fn(wm)) / (2.0 * eps)
+    return grad
+
+
+@pytest.fixture(scope="session")
+def fd_gradient():
+    """Expose the finite-difference helper as a fixture."""
+    return finite_difference_gradient

@@ -1,0 +1,189 @@
+"""Tests for the algorithm factory and the random-search harness."""
+
+import numpy as np
+import pytest
+
+from repro.core.algorithms import ALGORITHMS, make_local_solver
+from repro.core.local import (
+    FedAvgLocalSolver,
+    FedProxLocalSolver,
+    FedProxVRLocalSolver,
+    GDLocalSolver,
+)
+from repro.core.tuning import (
+    SearchSpace,
+    compare_algorithms,
+    format_table,
+    random_search,
+)
+from repro.exceptions import ConfigurationError
+from repro.fl.runner import FederatedRunConfig
+
+
+class TestAlgorithmFactory:
+    def test_registry_contains_paper_algorithms(self):
+        for name in ("fedavg", "fedprox", "fedproxvr-svrg", "fedproxvr-sarah", "gd"):
+            assert name in ALGORITHMS
+
+    @pytest.mark.parametrize(
+        "name,cls",
+        [
+            ("fedavg", FedAvgLocalSolver),
+            ("fedprox", FedProxLocalSolver),
+            ("fedproxvr-svrg", FedProxVRLocalSolver),
+            ("fedproxvr-sarah", FedProxVRLocalSolver),
+            ("gd", GDLocalSolver),
+        ],
+    )
+    def test_builds_right_class(self, name, cls):
+        solver = make_local_solver(
+            name, step_size=0.1, num_steps=5, batch_size=8, mu=0.1
+        )
+        assert isinstance(solver, cls)
+
+    def test_estimator_wired(self):
+        svrg = make_local_solver(
+            "fedproxvr-svrg", step_size=0.1, num_steps=5, batch_size=8, mu=0.1
+        )
+        sarah = make_local_solver(
+            "fedproxvr-sarah", step_size=0.1, num_steps=5, batch_size=8, mu=0.1
+        )
+        assert svrg.name == "fedproxvr-svrg"
+        assert sarah.name == "fedproxvr-sarah"
+
+    def test_kwargs_forwarded_to_proxvr(self):
+        solver = make_local_solver(
+            "fedproxvr-sarah",
+            step_size=0.1,
+            num_steps=5,
+            batch_size=8,
+            mu=0.1,
+            iterate_selection="average",
+        )
+        assert solver.iterate_selection == "average"
+
+    def test_case_insensitive(self):
+        assert isinstance(
+            make_local_solver("FedAvg", step_size=0.1, num_steps=1, batch_size=4),
+            FedAvgLocalSolver,
+        )
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_local_solver("adamw", step_size=0.1, num_steps=1, batch_size=4)
+
+
+class TestSearchSpace:
+    def test_sample_within_grid(self):
+        space = SearchSpace(tau=(5,), beta=(4.0, 8.0), mu=(0.0,), batch_size=(16,))
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            params = space.sample(rng)
+            assert params["tau"] == 5
+            assert params["beta"] in (4.0, 8.0)
+            assert params["mu"] == 0.0
+            assert params["batch_size"] == 16
+
+    def test_size(self):
+        space = SearchSpace(tau=(1, 2), beta=(3.5,), mu=(0.0, 0.1, 0.2), batch_size=(8,))
+        assert space.size() == 6
+
+
+class TestRandomSearch:
+    SPACE = SearchSpace(tau=(3, 5), beta=(5.0,), mu=(0.0, 0.1), batch_size=(8,))
+
+    def test_reports_best(self, tiny_dataset, tiny_model_factory):
+        report = random_search(
+            "fedproxvr-sarah",
+            tiny_dataset,
+            tiny_model_factory,
+            space=self.SPACE,
+            num_trials=3,
+            num_rounds=4,
+            seed=0,
+        )
+        assert len(report.trials) == 3
+        best = report.best
+        assert best.best_accuracy == max(t.best_accuracy for t in report.trials)
+
+    def test_mu_pinned_for_fedavg(self, tiny_dataset, tiny_model_factory):
+        report = random_search(
+            "fedavg",
+            tiny_dataset,
+            tiny_model_factory,
+            space=self.SPACE,
+            num_trials=3,
+            num_rounds=3,
+            seed=1,
+            mu_always_zero=True,
+        )
+        assert all(t.params["mu"] == 0.0 for t in report.trials)
+
+    def test_deduplicates_configs(self, tiny_dataset, tiny_model_factory):
+        # grid has 4 configs; asking for 4 trials must yield 4 distinct ones
+        report = random_search(
+            "fedavg",
+            tiny_dataset,
+            tiny_model_factory,
+            space=self.SPACE,
+            num_trials=4,
+            num_rounds=2,
+            seed=2,
+            mu_always_zero=False,
+        )
+        keys = {tuple(sorted(t.params.items())) for t in report.trials}
+        assert len(keys) == len(report.trials)
+
+    def test_histories_kept_on_request(self, tiny_dataset, tiny_model_factory):
+        report = random_search(
+            "fedavg",
+            tiny_dataset,
+            tiny_model_factory,
+            space=self.SPACE,
+            num_trials=1,
+            num_rounds=2,
+            seed=3,
+            keep_histories=True,
+        )
+        assert report.trials[0].history is not None
+
+    def test_empty_report_best_raises(self):
+        from repro.core.tuning import SearchReport
+
+        with pytest.raises(ConfigurationError):
+            SearchReport(algorithm="x").best
+
+    def test_base_config_respected(self, tiny_dataset, tiny_model_factory):
+        base = FederatedRunConfig(seed=42, eval_every=2)
+        report = random_search(
+            "fedavg",
+            tiny_dataset,
+            tiny_model_factory,
+            space=self.SPACE,
+            num_trials=1,
+            num_rounds=4,
+            base_config=base,
+            seed=4,
+            keep_histories=True,
+        )
+        assert report.trials[0].history.config["seed"] == 42
+
+
+class TestCompareAndFormat:
+    def test_compare_algorithms_table(self, tiny_dataset, tiny_model_factory):
+        reports = compare_algorithms(
+            ["fedavg", "fedproxvr-svrg"],
+            tiny_dataset,
+            tiny_model_factory,
+            space=TestRandomSearch.SPACE,
+            num_trials=2,
+            num_rounds=3,
+            seed=5,
+        )
+        table = format_table(reports, "Toy comparison")
+        assert "fedavg" in table
+        assert "fedproxvr-svrg" in table
+        assert "acc=" in table
+        # fedavg row must show mu=0 (pinned)
+        fedavg_row = [l for l in table.splitlines() if "fedavg" in l][0]
+        assert "mu=0 " in fedavg_row or "mu=0.0" in fedavg_row or "mu=0" in fedavg_row

@@ -1,0 +1,181 @@
+"""Tests for repro.core.estimators."""
+
+import numpy as np
+import pytest
+
+from repro.core.estimators import (
+    SARAHEstimator,
+    SGDEstimator,
+    SVRGEstimator,
+    make_estimator,
+)
+from repro.exceptions import ConfigurationError
+from repro.models import LinearRegressionModel
+
+
+@pytest.fixture()
+def problem():
+    rng = np.random.default_rng(0)
+    model = LinearRegressionModel(5, fit_intercept=False)
+    X = rng.standard_normal((40, 5))
+    y = rng.standard_normal(40)
+    w0 = rng.standard_normal(5)
+    return model, X, y, w0
+
+
+class TestFactory:
+    @pytest.mark.parametrize(
+        "name,cls",
+        [("sgd", SGDEstimator), ("svrg", SVRGEstimator), ("sarah", SARAHEstimator)],
+    )
+    def test_known_names(self, name, cls):
+        assert isinstance(make_estimator(name), cls)
+
+    def test_case_insensitive(self):
+        assert isinstance(make_estimator("SVRG"), SVRGEstimator)
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_estimator("adam")
+
+
+class TestAnchorExactness:
+    """At the anchor point, VR estimators must return the full gradient
+    exactly — the property (44) the Lemma 1 proof starts from."""
+
+    @pytest.mark.parametrize("name", ["svrg", "sarah"])
+    def test_exact_at_anchor(self, name, problem):
+        model, X, y, w0 = problem
+        full = model.gradient(w0, X, y)
+        est = make_estimator(name)
+        est.start_epoch(w0, full)
+        batch = slice(0, 8)
+        v = est.estimate(model, X[batch], y[batch], w0)
+        np.testing.assert_allclose(v, full, atol=1e-12)
+
+
+class TestSVRG:
+    def test_unbiasedness(self, problem):
+        """E_B[v] equals the full gradient at any w (SVRG's defining
+        property), checked by averaging over every size-1 batch."""
+        model, X, y, w0 = problem
+        full0 = model.gradient(w0, X, y)
+        w_t = w0 + 0.3
+        est = SVRGEstimator()
+        est.start_epoch(w0, full0)
+        estimates = []
+        for i in range(X.shape[0]):
+            # re-anchor so per-sample calls don't mutate state (SVRG is
+            # stateless across estimates, so this is belt-and-braces)
+            v = est.estimate(model, X[i : i + 1], y[i : i + 1], w_t)
+            estimates.append(v)
+        mean_v = np.mean(estimates, axis=0)
+        np.testing.assert_allclose(mean_v, model.gradient(w_t, X, y), atol=1e-10)
+
+    def test_variance_shrinks_near_anchor(self, problem):
+        model, X, y, w0 = problem
+        full0 = model.gradient(w0, X, y)
+
+        def variance(w_t):
+            est = SVRGEstimator()
+            est.start_epoch(w0, full0)
+            true = model.gradient(w_t, X, y)
+            devs = []
+            for i in range(X.shape[0]):
+                v = est.estimate(model, X[i : i + 1], y[i : i + 1], w_t)
+                devs.append(np.sum((v - true) ** 2))
+            return np.mean(devs)
+
+        near = variance(w0 + 1e-3)
+        far = variance(w0 + 1.0)
+        assert near < far / 100
+
+    def test_estimate_before_start_raises(self, problem):
+        model, X, y, w0 = problem
+        with pytest.raises(ConfigurationError):
+            SVRGEstimator().estimate(model, X[:2], y[:2], w0)
+
+    def test_eval_counter(self, problem):
+        model, X, y, w0 = problem
+        est = SVRGEstimator()
+        est.start_epoch(w0, model.gradient(w0, X, y))
+        est.estimate(model, X[:4], y[:4], w0)
+        est.estimate(model, X[:4], y[:4], w0)
+        assert est.num_evaluations == 4
+        est.reset_counter()
+        assert est.num_evaluations == 0
+
+
+class TestSARAH:
+    def test_recursion_matches_formula(self, problem):
+        model, X, y, w0 = problem
+        full0 = model.gradient(w0, X, y)
+        est = SARAHEstimator()
+        v0 = est.start_epoch(w0, full0)
+        w1 = w0 - 0.01 * v0
+        batch = slice(3, 9)
+        v1 = est.estimate(model, X[batch], y[batch], w1)
+        expected = (
+            model.gradient(w1, X[batch], y[batch])
+            - model.gradient(w0, X[batch], y[batch])
+            + full0
+        )
+        np.testing.assert_allclose(v1, expected, atol=1e-12)
+
+    def test_recursion_tracks_previous_iterate(self, problem):
+        """The second step must difference against w1, not w0."""
+        model, X, y, w0 = problem
+        full0 = model.gradient(w0, X, y)
+        est = SARAHEstimator()
+        v0 = est.start_epoch(w0, full0)
+        w1 = w0 - 0.01 * v0
+        v1 = est.estimate(model, X[:5], y[:5], w1)
+        w2 = w1 - 0.01 * v1
+        v2 = est.estimate(model, X[5:10], y[5:10], w2)
+        expected = (
+            model.gradient(w2, X[5:10], y[5:10])
+            - model.gradient(w1, X[5:10], y[5:10])
+            + v1
+        )
+        np.testing.assert_allclose(v2, expected, atol=1e-12)
+
+    def test_fresh_instances_isolated(self, problem):
+        """Two concurrent inner loops must not share recursion state."""
+        model, X, y, w0 = problem
+        full0 = model.gradient(w0, X, y)
+        a, b = SARAHEstimator(), SARAHEstimator()
+        a.start_epoch(w0, full0)
+        b.start_epoch(w0 + 1.0, model.gradient(w0 + 1.0, X, y))
+        va = a.estimate(model, X[:5], y[:5], w0 + 0.1)
+        # interleaved call on b must not affect a's next estimate
+        b.estimate(model, X[:5], y[:5], w0 + 2.0)
+        va2_expected = (
+            model.gradient(w0 + 0.2, X[5:8], y[5:8])
+            - model.gradient(w0 + 0.1, X[5:8], y[5:8])
+            + va
+        )
+        va2 = a.estimate(model, X[5:8], y[5:8], w0 + 0.2)
+        np.testing.assert_allclose(va2, va2_expected, atol=1e-12)
+
+    def test_estimate_before_start_raises(self, problem):
+        model, X, y, w0 = problem
+        with pytest.raises(ConfigurationError):
+            SARAHEstimator().estimate(model, X[:2], y[:2], w0)
+
+
+class TestSGD:
+    def test_plain_minibatch_gradient(self, problem):
+        model, X, y, w0 = problem
+        est = SGDEstimator()
+        est.start_epoch(w0, model.gradient(w0, X, y))
+        w_t = w0 + 0.5
+        v = est.estimate(model, X[:7], y[:7], w_t)
+        np.testing.assert_allclose(v, model.gradient(w_t, X[:7], y[:7]))
+
+    def test_start_epoch_returns_copy(self, problem):
+        model, X, y, w0 = problem
+        full = model.gradient(w0, X, y)
+        est = SGDEstimator()
+        v = est.start_epoch(w0, full)
+        v[...] = 0.0
+        assert full.any()  # caller's array untouched

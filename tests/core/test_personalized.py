@@ -1,0 +1,94 @@
+"""Tests for the pFedMe-style personalized solver."""
+
+import numpy as np
+import pytest
+
+from repro.core.algorithms import make_local_solver
+from repro.core.local import PersonalizedProxLocalSolver
+from repro.models import MultinomialLogisticModel
+
+
+@pytest.fixture()
+def problem():
+    rng = np.random.default_rng(0)
+    model = MultinomialLogisticModel(8, 3)
+    X = rng.standard_normal((50, 8))
+    y = rng.integers(0, 3, 50)
+    w0 = model.init_parameters(0)
+    L = model.smoothness(X)
+    return model, X, y, w0, L
+
+
+class TestPersonalizedSolver:
+    def test_output_between_global_and_personalized(self, problem):
+        model, X, y, w0, L = problem
+        solver = PersonalizedProxLocalSolver(
+            step_size=1.0 / (5 * L), num_steps=20, batch_size=16,
+            mu=1.0, global_lr=0.5,
+        )
+        result = solver.solve(model, X, y, w0, np.random.default_rng(1))
+        theta = solver.last_personalized
+        # w_local = (1 - s) w0 + s theta with s = 0.5
+        expected = 0.5 * w0 + 0.5 * theta
+        np.testing.assert_allclose(result.w_local, expected)
+
+    def test_personalized_model_fits_local_data_better(self, problem):
+        model, X, y, w0, L = problem
+        solver = PersonalizedProxLocalSolver(
+            step_size=1.0 / (5 * L), num_steps=100, batch_size=16, mu=0.5,
+        )
+        theta = solver.personalized_model(model, X, y, w0, np.random.default_rng(2))
+        assert model.loss(theta, X, y) < model.loss(w0, X, y)
+
+    def test_large_mu_keeps_theta_close(self, problem):
+        model, X, y, w0, L = problem
+
+        def distance(mu):
+            solver = PersonalizedProxLocalSolver(
+                step_size=1.0 / (5 * L), num_steps=30, batch_size=16,
+                mu=mu, global_lr=1.0 / mu,
+            )
+            theta = solver.personalized_model(
+                model, X, y, w0, np.random.default_rng(3)
+            )
+            return float(np.linalg.norm(theta - w0))
+
+        assert distance(10.0) < distance(0.1)
+
+    def test_diagnostics_include_distance(self, problem):
+        model, X, y, w0, L = problem
+        solver = PersonalizedProxLocalSolver(
+            step_size=1.0 / (5 * L), num_steps=5, batch_size=16, mu=1.0,
+        )
+        result = solver.solve(model, X, y, w0, np.random.default_rng(4))
+        assert result.diagnostics["personalized_distance"] >= 0
+
+    def test_global_lr_mu_product_validated(self):
+        with pytest.raises(Exception):
+            PersonalizedProxLocalSolver(
+                step_size=0.1, num_steps=5, batch_size=8, mu=4.0, global_lr=1.0
+            )
+
+    def test_factory_builds_pfedme(self):
+        solver = make_local_solver(
+            "pfedme", step_size=0.1, num_steps=3, batch_size=4, mu=0.5
+        )
+        assert isinstance(solver, PersonalizedProxLocalSolver)
+        assert solver.name == "pfedme"
+
+    def test_factory_defaults_mu_when_zero(self):
+        solver = make_local_solver(
+            "pfedme", step_size=0.1, num_steps=3, batch_size=4, mu=0.0
+        )
+        assert solver.mu == 1.0
+
+    def test_federated_training_converges(self, tiny_dataset, tiny_model_factory):
+        from repro.fl.runner import FederatedRunConfig, run_federated
+
+        cfg = FederatedRunConfig(
+            algorithm="pfedme", num_rounds=15, num_local_steps=10,
+            beta=5.0, mu=1.0, batch_size=8, seed=0, eval_every=5,
+            solver_kwargs={"global_lr": 0.9},
+        )
+        history, _ = run_federated(tiny_dataset, tiny_model_factory, cfg)
+        assert history.final("train_loss") < history.records[0].train_loss

@@ -1,0 +1,122 @@
+"""Tests for repro.core.proximal."""
+
+import numpy as np
+import pytest
+
+from repro.core.proximal import (
+    IdentityProx,
+    L1Prox,
+    QuadraticProx,
+    gradient_mapping,
+)
+
+
+class TestQuadraticProx:
+    def test_closed_form_matches_argmin(self):
+        """prox must solve argmin_w h(w) + ||w - x||^2/(2 eta): verify the
+        first-order optimality condition mu(w - anchor) + (w - x)/eta = 0."""
+        rng = np.random.default_rng(0)
+        anchor = rng.standard_normal(6)
+        x = rng.standard_normal(6)
+        mu, eta = 2.5, 0.3
+        prox = QuadraticProx(mu, anchor)
+        w = prox(x, eta)
+        residual = mu * (w - anchor) + (w - x) / eta
+        np.testing.assert_allclose(residual, 0.0, atol=1e-12)
+
+    def test_paper_formula_eq10(self):
+        anchor = np.array([1.0, -1.0])
+        x = np.array([3.0, 3.0])
+        mu, eta = 4.0, 0.5
+        prox = QuadraticProx(mu, anchor)
+        expected = (eta / (1 + eta * mu)) * (mu * anchor + x / eta)
+        np.testing.assert_allclose(prox(x, eta), expected)
+
+    def test_anchor_is_fixed_point(self):
+        anchor = np.array([2.0, -3.0])
+        prox = QuadraticProx(1.0, anchor)
+        np.testing.assert_allclose(prox(anchor, 0.7), anchor)
+
+    def test_mu_zero_is_identity(self):
+        x = np.array([5.0, -5.0])
+        prox = QuadraticProx(0.0, np.zeros(2))
+        np.testing.assert_allclose(prox(x, 0.1), x)
+        assert prox.value(x) == 0.0
+
+    def test_pulls_toward_anchor(self):
+        anchor = np.zeros(3)
+        x = np.array([1.0, 2.0, 3.0])
+        out = QuadraticProx(10.0, anchor)(x, 1.0)
+        assert np.all(np.abs(out) < np.abs(x))
+
+    def test_value_and_gradient(self):
+        anchor = np.array([1.0, 1.0])
+        prox = QuadraticProx(2.0, anchor)
+        w = np.array([3.0, 1.0])
+        assert prox.value(w) == pytest.approx(0.5 * 2.0 * 4.0)
+        np.testing.assert_allclose(prox.gradient(w), [4.0, 0.0])
+
+    def test_nonexpansive(self):
+        rng = np.random.default_rng(1)
+        prox = QuadraticProx(3.0, rng.standard_normal(4))
+        x, z = rng.standard_normal(4), rng.standard_normal(4)
+        assert np.linalg.norm(prox(x, 0.2) - prox(z, 0.2)) <= np.linalg.norm(x - z) + 1e-12
+
+
+class TestIdentityProx:
+    def test_identity(self):
+        x = np.array([1.0, -2.0])
+        prox = IdentityProx()
+        np.testing.assert_allclose(prox(x, 0.5), x)
+        assert prox.value(x) == 0.0
+
+
+class TestL1Prox:
+    def test_soft_threshold_values(self):
+        prox = L1Prox(1.0)
+        x = np.array([3.0, -0.5, 0.0, -2.0])
+        np.testing.assert_allclose(prox(x, 1.0), [2.0, 0.0, 0.0, -1.0])
+
+    def test_threshold_scales_with_eta(self):
+        prox = L1Prox(2.0)
+        x = np.array([1.0])
+        np.testing.assert_allclose(prox(x, 0.25), [0.5])
+
+    def test_value(self):
+        assert L1Prox(0.5).value(np.array([2.0, -3.0])) == pytest.approx(2.5)
+
+    def test_optimality_condition(self):
+        """Soft-thresholding solves argmin lam|w| + (w-x)^2/(2 eta):
+        check subgradient optimality on non-zero coordinates."""
+        prox = L1Prox(0.7)
+        x = np.array([2.0, -5.0])
+        eta = 0.4
+        w = prox(x, eta)
+        # for w != 0: lam*sign(w) + (w - x)/eta == 0
+        residual = 0.7 * np.sign(w) + (w - x) / eta
+        np.testing.assert_allclose(residual, 0.0, atol=1e-12)
+
+
+class TestGradientMapping:
+    def test_identity_prox_reduces_to_gradient(self):
+        rng = np.random.default_rng(2)
+        w = rng.standard_normal(5)
+        g = rng.standard_normal(5)
+        gm = gradient_mapping(w, g, IdentityProx(), 0.3)
+        np.testing.assert_allclose(gm, g)
+
+    def test_zero_at_stationary_point_of_surrogate(self):
+        """G(w) = 0 iff w minimizes F + h: construct such a point for
+        quadratic F and quadratic h and verify."""
+        # F(w) = 0.5||w - a||^2, h(w) = (mu/2)||w - b||^2
+        a = np.array([2.0, 0.0])
+        b = np.array([0.0, 2.0])
+        mu = 3.0
+        w_star = (a + mu * b) / (1 + mu)
+        grad_F = w_star - a
+        gm = gradient_mapping(w_star, grad_F, QuadraticProx(mu, b), 0.1)
+        np.testing.assert_allclose(gm, 0.0, atol=1e-12)
+
+    def test_eta_validated(self):
+        with pytest.raises(Exception):
+            gradient_mapping(np.zeros(2), np.zeros(2), IdentityProx(), 0.0)

@@ -1,0 +1,118 @@
+"""Tests for step-size schedules and the scheduled solver."""
+
+import numpy as np
+import pytest
+
+from repro.core.schedules import (
+    ConstantSchedule,
+    ExponentialSchedule,
+    InverseTimeSchedule,
+    ScheduledSGDLocalSolver,
+    SqrtSchedule,
+)
+from repro.exceptions import ConfigurationError
+from repro.models import MultinomialLogisticModel
+
+
+class TestSchedules:
+    def test_constant(self):
+        s = ConstantSchedule(0.5)
+        assert s(0) == s(1000) == 0.5
+
+    def test_inverse_time_values(self):
+        s = InverseTimeSchedule(1.0, decay=1.0)
+        assert s(0) == 1.0
+        assert s(1) == pytest.approx(0.5)
+        assert s(9) == pytest.approx(0.1)
+
+    def test_sqrt_values(self):
+        s = SqrtSchedule(2.0)
+        assert s(0) == 2.0
+        assert s(3) == pytest.approx(1.0)
+
+    def test_exponential_values(self):
+        s = ExponentialSchedule(1.0, gamma=0.5)
+        assert s(0) == 1.0
+        assert s(2) == pytest.approx(0.25)
+
+    @pytest.mark.parametrize(
+        "schedule",
+        [
+            InverseTimeSchedule(1.0),
+            SqrtSchedule(1.0),
+            ExponentialSchedule(1.0, 0.9),
+        ],
+    )
+    def test_monotone_decreasing(self, schedule):
+        values = [schedule(t) for t in range(50)]
+        assert all(a >= b for a, b in zip(values, values[1:]))
+
+    def test_negative_step_rejected(self):
+        for s in (InverseTimeSchedule(1.0), SqrtSchedule(1.0), ExponentialSchedule(1.0)):
+            with pytest.raises(ConfigurationError):
+                s(-1)
+
+    def test_bad_gamma_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ExponentialSchedule(1.0, gamma=1.5)
+        with pytest.raises(ConfigurationError):
+            ExponentialSchedule(1.0, gamma=0.0)
+
+
+class TestScheduledSolver:
+    @pytest.fixture()
+    def problem(self):
+        rng = np.random.default_rng(0)
+        model = MultinomialLogisticModel(6, 3)
+        X = rng.standard_normal((50, 6))
+        y = rng.integers(0, 3, 50)
+        return model, X, y, model.init_parameters(0)
+
+    def test_counter_persists_across_rounds(self, problem):
+        model, X, y, w0 = problem
+        solver = ScheduledSGDLocalSolver(
+            schedule=InverseTimeSchedule(0.1), num_steps=5, batch_size=8
+        )
+        r1 = solver.solve(model, X, y, w0, np.random.default_rng(1))
+        r2 = solver.solve(model, X, y, w0, np.random.default_rng(2))
+        assert r1.diagnostics["first_eta"] > r2.diagnostics["first_eta"]
+        assert solver.global_step == 10
+
+    def test_constant_schedule_reduces_loss(self, problem):
+        model, X, y, w0 = problem
+        solver = ScheduledSGDLocalSolver(
+            schedule=ConstantSchedule(0.05), num_steps=40, batch_size=16, mu=0.1
+        )
+        r = solver.solve(model, X, y, w0, np.random.default_rng(3))
+        assert model.loss(r.w_local, X, y) < model.loss(w0, X, y)
+
+    def test_diminishing_eventually_stalls_relative_to_constant(self, problem):
+        """Footnote 1's practical point: an aggressively diminishing
+        schedule makes less progress over the same number of steps."""
+        model, X, y, w0 = problem
+        fast_decay = ScheduledSGDLocalSolver(
+            schedule=InverseTimeSchedule(0.05, decay=5.0),
+            num_steps=80, batch_size=16,
+        )
+        constant = ScheduledSGDLocalSolver(
+            schedule=ConstantSchedule(0.05), num_steps=80, batch_size=16
+        )
+        r_decay = fast_decay.solve(model, X, y, w0, np.random.default_rng(4))
+        r_const = constant.solve(model, X, y, w0, np.random.default_rng(4))
+        assert model.loss(r_const.w_local, X, y) < model.loss(r_decay.w_local, X, y)
+
+    def test_federated_integration(self, tiny_dataset, tiny_model_factory):
+        from repro.fl.client import Client
+        from repro.fl.server import FederatedServer
+
+        model = tiny_model_factory()
+        solver = ScheduledSGDLocalSolver(
+            schedule=SqrtSchedule(0.05), num_steps=5, batch_size=8, mu=0.1
+        )
+        clients = [
+            Client(d.device_id, d, model, solver, base_seed=0)
+            for d in tiny_dataset.devices
+        ]
+        server = FederatedServer(clients, model)
+        history, _ = server.train(model.init_parameters(0), 8, eval_every=4)
+        assert history.final("train_loss") < history.records[0].train_loss

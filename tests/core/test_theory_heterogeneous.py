@@ -1,0 +1,50 @@
+"""Tests for aggregate_heterogeneous_constants (end-of-§3 note)."""
+
+import pytest
+
+from repro.core.theory import ProblemConstants, aggregate_heterogeneous_constants
+from repro.exceptions import InfeasibleParametersError
+
+
+class TestAggregation:
+    def test_takes_worst_case_L_and_lambda(self):
+        c = aggregate_heterogeneous_constants([1.0, 3.0, 2.0], [0.1, 0.5, 0.2])
+        assert c.L == 3.0
+        assert c.lam == 0.5
+
+    def test_sigma_weighted_mean_of_squares(self):
+        c = aggregate_heterogeneous_constants(
+            [1.0, 1.0], [0.0, 0.0], weights=[1.0, 3.0], sigma_values=[2.0, 0.0]
+        )
+        # sum p_n sigma_n^2 = 0.25*4 + 0.75*0 = 1
+        assert c.sigma_bar_sq == pytest.approx(1.0)
+
+    def test_uniform_weights_default(self):
+        c = aggregate_heterogeneous_constants(
+            [1.0, 1.0], [0.0, 0.0], sigma_values=[1.0, 3.0]
+        )
+        assert c.sigma_bar_sq == pytest.approx(0.5 * 1 + 0.5 * 9)
+
+    def test_returns_problem_constants(self):
+        c = aggregate_heterogeneous_constants([2.0], [0.3])
+        assert isinstance(c, ProblemConstants)
+
+    def test_empty_rejected(self):
+        with pytest.raises(InfeasibleParametersError):
+            aggregate_heterogeneous_constants([], [])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(InfeasibleParametersError):
+            aggregate_heterogeneous_constants([1.0, 2.0], [0.1])
+        with pytest.raises(InfeasibleParametersError):
+            aggregate_heterogeneous_constants(
+                [1.0, 2.0], [0.1, 0.2], sigma_values=[1.0]
+            )
+
+    def test_bad_weights_rejected(self):
+        with pytest.raises(InfeasibleParametersError):
+            aggregate_heterogeneous_constants([1.0, 2.0], [0.1, 0.2], weights=[1.0])
+        with pytest.raises(InfeasibleParametersError):
+            aggregate_heterogeneous_constants(
+                [1.0, 2.0], [0.1, 0.2], weights=[-1.0, 2.0]
+            )

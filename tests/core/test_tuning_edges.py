@@ -1,0 +1,62 @@
+"""Edge-path tests for the tuning harness: divergent trials, ties."""
+
+import numpy as np
+import pytest
+
+from repro.core.tuning import SearchReport, TrialResult, format_table
+
+
+def trial(acc, loss=1.0, params=None):
+    return TrialResult(
+        algorithm="x",
+        params=params or {"tau": 5, "beta": 5.0, "mu": 0.0, "batch_size": 16},
+        best_accuracy=acc,
+        final_loss=loss,
+        rounds_to_best=1,
+    )
+
+
+class TestBestSelection:
+    def test_highest_accuracy_wins(self):
+        report = SearchReport("x", [trial(0.5), trial(0.8), trial(0.6)])
+        assert report.best.best_accuracy == 0.8
+
+    def test_nan_accuracy_never_wins(self):
+        report = SearchReport("x", [trial(float("nan")), trial(0.3)])
+        assert report.best.best_accuracy == 0.3
+
+    def test_all_nan_still_returns_something(self):
+        report = SearchReport("x", [trial(float("nan")), trial(float("nan"))])
+        assert report.best is not None
+
+    def test_tie_broken_by_lower_loss(self):
+        a = trial(0.7, loss=2.0)
+        b = trial(0.7, loss=1.0)
+        report = SearchReport("x", [a, b])
+        assert report.best is b
+
+    def test_infinite_loss_loses_tie(self):
+        a = trial(0.7, loss=float("inf"))
+        b = trial(0.7, loss=1.5)
+        assert SearchReport("x", [a, b]).best is b
+
+
+class TestTableFormatting:
+    def test_row_includes_all_params(self):
+        report = SearchReport(
+            "fedproxvr-svrg",
+            [trial(0.84, params={"tau": 20, "beta": 10.0, "mu": 0.1, "batch_size": 32})],
+        )
+        row = report.table_row()
+        for token in ("tau= 20", "beta= 10.0", "mu=0.1", "B= 32", "84.00%"):
+            assert token in row, row
+
+    def test_format_table_header_and_rows(self):
+        r1 = SearchReport("fedavg", [trial(0.5)])
+        r2 = SearchReport("fedproxvr-sarah", [trial(0.6)])
+        text = format_table([r1, r2], "My Table")
+        lines = text.splitlines()
+        assert lines[0] == "My Table"
+        assert lines[1].startswith("-")
+        assert "fedavg" in lines[2]
+        assert "fedproxvr-sarah" in lines[3]

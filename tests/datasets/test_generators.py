@@ -1,0 +1,169 @@
+"""Tests for the synthetic / digits / fashion dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import make_digits, make_fashion, make_synthetic
+from repro.datasets.digits import digit_prototypes
+from repro.datasets.fashion import garment_prototypes
+from repro.datasets.imaging import (
+    IMAGE_SIZE,
+    perturb,
+    render_prototype,
+    synthesize_corpus,
+)
+from repro.datasets.splits import train_test_split_device
+from repro.exceptions import ConfigurationError
+from repro.models import MultinomialLogisticModel
+
+
+class TestSplits:
+    def test_fraction_respected(self):
+        X = np.zeros((100, 2))
+        y = np.zeros(100)
+        X_tr, y_tr, X_te, y_te = train_test_split_device(X, y, train_fraction=0.75, seed=0)
+        assert X_tr.shape[0] == 75
+        assert X_te.shape[0] == 25
+
+    def test_single_sample_goes_to_train(self):
+        X_tr, _, X_te, _ = train_test_split_device(
+            np.zeros((1, 2)), np.zeros(1), seed=0
+        )
+        assert X_tr.shape[0] == 1
+        assert X_te.shape[0] == 0
+
+    def test_shuffles(self):
+        X = np.arange(20).reshape(20, 1).astype(float)
+        X_tr, _, _, _ = train_test_split_device(X, np.zeros(20), seed=3)
+        assert not np.array_equal(X_tr[:, 0], np.arange(15))
+
+    def test_bad_fraction(self):
+        with pytest.raises(Exception):
+            train_test_split_device(np.zeros((5, 1)), np.zeros(5), train_fraction=1.0)
+
+
+class TestSynthetic:
+    def test_shapes_and_metadata(self):
+        ds = make_synthetic(0.5, 0.5, num_devices=8, num_features=20, num_classes=5, seed=0)
+        assert ds.num_devices == 8
+        assert ds.num_features == 20
+        assert ds.num_classes == 5
+        assert all(d.X_train.shape[1] == 20 for d in ds.devices)
+
+    def test_deterministic(self):
+        a = make_synthetic(1, 1, num_devices=4, seed=9)
+        b = make_synthetic(1, 1, num_devices=4, seed=9)
+        np.testing.assert_array_equal(a.devices[0].X_train, b.devices[0].X_train)
+        np.testing.assert_array_equal(a.devices[2].y_train, b.devices[2].y_train)
+
+    def test_seed_changes_data(self):
+        a = make_synthetic(1, 1, num_devices=4, seed=1)
+        b = make_synthetic(1, 1, num_devices=4, seed=2)
+        assert not np.allclose(a.devices[0].X_train[:5], b.devices[0].X_train[:5])
+
+    def test_iid_mode_shares_generator(self):
+        ds = make_synthetic(1, 1, num_devices=6, iid=True, seed=0)
+        assert ds.extra["iid"] is True
+        # iid data should be much less heterogeneous: all devices share
+        # the same input mean, so per-device feature means are close.
+        means = np.stack([d.X_train.mean(axis=0) for d in ds.devices])
+        assert means.std(axis=0).mean() < 0.6
+
+    def test_noniid_has_device_shift(self):
+        ds = make_synthetic(0.0, 2.0, num_devices=6, iid=False, seed=0)
+        means = np.stack([d.X_train.mean(axis=0) for d in ds.devices])
+        assert means.std(axis=0).mean() > 0.5
+
+    def test_labels_in_range(self):
+        ds = make_synthetic(1, 1, num_devices=5, num_classes=7, seed=0)
+        X, y = ds.global_train()
+        assert y.min() >= 0 and y.max() < 7
+
+    def test_rejects_negative_alpha(self):
+        with pytest.raises(Exception):
+            make_synthetic(-1.0, 0.0, num_devices=3)
+
+
+class TestImaging:
+    def test_render_prototype_shape_and_range(self):
+        proto = render_prototype([" ### "] * 7)
+        assert proto.shape == (IMAGE_SIZE, IMAGE_SIZE)
+        assert proto.min() >= 0.0
+        assert proto.max() <= 1.0 + 1e-9
+
+    def test_render_rejects_bad_bitmap(self):
+        with pytest.raises(ConfigurationError):
+            render_prototype(["###"] * 7)
+        with pytest.raises(ConfigurationError):
+            render_prototype([" ### "] * 5)
+
+    def test_perturb_clips_to_unit_interval(self):
+        proto = render_prototype(["#####"] * 7)
+        img = perturb(proto, np.random.default_rng(0), noise_std=0.5)
+        assert img.min() >= 0.0 and img.max() <= 1.0
+
+    def test_perturb_varies_between_draws(self):
+        proto = render_prototype(["#####"] * 7)
+        rng = np.random.default_rng(0)
+        a = perturb(proto, rng)
+        b = perturb(proto, rng)
+        assert not np.allclose(a, b)
+
+    def test_synthesize_corpus_shapes(self):
+        protos = {0: render_prototype(["#    "] * 7), 1: render_prototype(["    #"] * 7)}
+        X, y = synthesize_corpus(protos, 30, seed=0)
+        assert X.shape == (30, IMAGE_SIZE**2)
+        assert set(np.unique(y)).issubset({0, 1})
+
+    def test_class_skew_tilts_prior(self):
+        protos = {i: render_prototype(["#####"] * 7) for i in range(5)}
+        _, y = synthesize_corpus(protos, 3000, seed=0, class_skew=2.0)
+        counts = np.bincount(y, minlength=5)
+        assert counts[0] > 2 * counts[4]
+
+    def test_prototypes_are_distinct(self):
+        for protos in (digit_prototypes(), garment_prototypes()):
+            keys = sorted(protos)
+            assert keys == list(range(10))
+            # pairwise distances all strictly positive
+            for i in keys:
+                for j in keys:
+                    if i < j:
+                        assert np.linalg.norm(protos[i] - protos[j]) > 0.5
+
+
+class TestImageDatasets:
+    @pytest.mark.parametrize("maker", [make_digits, make_fashion])
+    def test_partition_contract(self, maker):
+        ds = maker(num_devices=6, num_samples=400, labels_per_device=2,
+                   min_size=20, max_size=120, seed=0)
+        assert ds.num_devices == 6
+        assert ds.num_features == 784
+        assert ds.num_classes == 10
+        for dev in ds.devices:
+            # train shard labels limited to the device's 2 assigned labels
+            assert len(dev.train_labels) <= 2
+
+    def test_digits_learnable_by_logistic(self):
+        ds = make_digits(num_devices=4, num_samples=600, min_size=50,
+                         max_size=250, seed=0)
+        X, y = ds.global_train()
+        Xt, yt = ds.global_test()
+        model = MultinomialLogisticModel(784, 10)
+        w = model.init_parameters(0)
+        for _ in range(150):
+            w -= 0.5 * model.gradient(w, X, y)
+        assert model.accuracy(w, Xt, yt) > 0.7
+
+    def test_digits_deterministic(self):
+        a = make_digits(num_devices=3, num_samples=100, min_size=15, max_size=40, seed=4)
+        b = make_digits(num_devices=3, num_samples=100, min_size=15, max_size=40, seed=4)
+        np.testing.assert_array_equal(a.devices[1].X_train, b.devices[1].X_train)
+
+    def test_fashion_differs_from_digits(self):
+        d = make_digits(num_devices=3, num_samples=100, min_size=15, max_size=40, seed=0)
+        f = make_fashion(num_devices=3, num_samples=100, min_size=15, max_size=40, seed=0)
+        assert d.name != f.name
+        assert not np.allclose(
+            d.devices[0].X_train[:3], f.devices[0].X_train[:3]
+        )

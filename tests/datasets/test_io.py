@@ -1,0 +1,57 @@
+"""Tests for repro.datasets.io (npz round-tripping)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import make_synthetic
+from repro.datasets.io import load_federated_dataset, save_federated_dataset
+from repro.exceptions import ConfigurationError
+
+
+class TestRoundTrip:
+    def test_exact_roundtrip(self, tmp_path):
+        ds = make_synthetic(1.0, 0.5, num_devices=4, num_features=10,
+                            num_classes=3, min_size=20, max_size=40, seed=0)
+        path = save_federated_dataset(ds, tmp_path / "data")
+        back = load_federated_dataset(path)
+        assert back.name == ds.name
+        assert back.num_features == ds.num_features
+        assert back.num_classes == ds.num_classes
+        assert back.num_devices == ds.num_devices
+        for a, b in zip(ds.devices, back.devices):
+            assert a.device_id == b.device_id
+            np.testing.assert_array_equal(a.X_train, b.X_train)
+            np.testing.assert_array_equal(a.y_train, b.y_train)
+            np.testing.assert_array_equal(a.X_test, b.X_test)
+            np.testing.assert_array_equal(a.y_test, b.y_test)
+
+    def test_extra_metadata_preserved(self, tmp_path):
+        ds = make_synthetic(2.0, 0.0, num_devices=2, num_features=5,
+                            num_classes=2, min_size=10, max_size=20, seed=1)
+        back = load_federated_dataset(save_federated_dataset(ds, tmp_path / "x"))
+        assert back.extra["alpha"] == 2.0
+        assert back.extra["iid"] is False
+
+    def test_suffix_appended(self, tmp_path):
+        ds = make_synthetic(1, 1, num_devices=2, num_features=5, num_classes=2,
+                            min_size=10, max_size=20, seed=2)
+        path = save_federated_dataset(ds, tmp_path / "noext")
+        assert path.suffix == ".npz"
+
+    def test_weights_preserved(self, tmp_path):
+        ds = make_synthetic(1, 1, num_devices=5, num_features=5, num_classes=2,
+                            min_size=10, max_size=200, seed=3)
+        back = load_federated_dataset(save_federated_dataset(ds, tmp_path / "w"))
+        np.testing.assert_allclose(back.weights(), ds.weights())
+
+
+class TestErrors:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            load_federated_dataset(tmp_path / "nope.npz")
+
+    def test_not_an_archive(self, tmp_path):
+        path = tmp_path / "random.npz"
+        np.savez(path, a=np.zeros(3))
+        with pytest.raises(ConfigurationError):
+            load_federated_dataset(path)

@@ -1,0 +1,112 @@
+"""Tests for repro.datasets.partition."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.partition import (
+    assign_device_labels,
+    label_distribution,
+    pathological_partition,
+    power_law_sizes,
+)
+from repro.exceptions import ConfigurationError
+
+
+class TestPowerLawSizes:
+    def test_respects_min(self):
+        sizes = power_law_sizes(50, min_size=40, seed=0)
+        assert np.all(sizes >= 40)
+
+    def test_respects_max_clip(self):
+        sizes = power_law_sizes(200, min_size=10, max_size=100, seed=0)
+        assert np.all(sizes <= 100)
+
+    def test_heavy_tail_present(self):
+        sizes = power_law_sizes(300, min_size=10, seed=1)
+        # a heavy-tailed draw should be strongly right-skewed
+        assert sizes.max() > 5 * np.median(sizes)
+
+    def test_deterministic(self):
+        np.testing.assert_array_equal(
+            power_law_sizes(10, seed=3), power_law_sizes(10, seed=3)
+        )
+
+    def test_bad_max_rejected(self):
+        with pytest.raises(ConfigurationError):
+            power_law_sizes(5, min_size=50, max_size=10, seed=0)
+
+
+class TestAssignDeviceLabels:
+    def test_exact_label_count(self):
+        sets = assign_device_labels(20, 10, 2, seed=0)
+        assert all(len(s) == 2 for s in sets)
+        assert all(len(np.unique(s)) == 2 for s in sets)
+
+    def test_all_classes_covered(self):
+        sets = assign_device_labels(20, 10, 2, seed=1)
+        covered = set(np.concatenate(sets).tolist())
+        assert covered == set(range(10))
+
+    def test_labels_per_device_exceeding_classes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            assign_device_labels(3, 2, 5, seed=0)
+
+    def test_full_label_set_allowed(self):
+        sets = assign_device_labels(4, 3, 3, seed=0)
+        for s in sets:
+            np.testing.assert_array_equal(s, [0, 1, 2])
+
+
+class TestPathologicalPartition:
+    def make_labels(self, per_class=100, num_classes=10):
+        return np.repeat(np.arange(num_classes), per_class)
+
+    def test_sizes_honored(self):
+        y = self.make_labels()
+        sizes = [30, 50, 20]
+        parts = pathological_partition(y, 3, sizes=sizes, seed=0)
+        assert [len(p) for p in parts] == sizes
+
+    def test_two_labels_per_device(self):
+        y = self.make_labels()
+        parts = pathological_partition(y, 10, labels_per_device=2, sizes=[40] * 10, seed=0)
+        for idx in parts:
+            assert len(np.unique(y[idx])) <= 2
+
+    def test_replacement_fallback_on_small_pool(self):
+        # 10 samples per class but devices demand far more
+        y = self.make_labels(per_class=10, num_classes=4)
+        parts = pathological_partition(y, 2, labels_per_device=2, sizes=[200, 200], seed=0)
+        assert [len(p) for p in parts] == [200, 200]
+
+    def test_sizes_length_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            pathological_partition(self.make_labels(), 3, sizes=[10, 10], seed=0)
+
+    def test_deterministic(self):
+        y = self.make_labels()
+        a = pathological_partition(y, 4, sizes=[25] * 4, seed=5)
+        b = pathological_partition(y, 4, sizes=[25] * 4, seed=5)
+        for pa, pb in zip(a, b):
+            np.testing.assert_array_equal(pa, pb)
+
+    def test_default_sizes_drawn(self):
+        y = self.make_labels()
+        parts = pathological_partition(y, 3, seed=0)
+        assert len(parts) == 3
+        assert all(len(p) > 0 for p in parts)
+
+
+class TestLabelDistribution:
+    def test_counts(self):
+        y = np.array([0, 0, 1, 1, 2])
+        parts = [np.array([0, 1, 2]), np.array([3, 4])]
+        dist = label_distribution(y, parts)
+        np.testing.assert_array_equal(dist, [[2, 1, 0], [0, 1, 1]])
+
+    def test_row_sums_match_partition_sizes(self):
+        rng = np.random.default_rng(0)
+        y = rng.integers(0, 5, 100)
+        parts = pathological_partition(y, 4, sizes=[20, 20, 20, 20], seed=1)
+        dist = label_distribution(y, parts)
+        np.testing.assert_array_equal(dist.sum(axis=1), [20, 20, 20, 20])

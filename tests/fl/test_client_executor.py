@@ -1,0 +1,97 @@
+"""Tests for repro.fl.client and repro.fl.executor."""
+
+import numpy as np
+import pytest
+
+from repro.core.local import FedAvgLocalSolver
+from repro.fl.client import Client
+from repro.fl.executor import SequentialExecutor, ThreadPoolClientExecutor
+from repro.models import MultinomialLogisticModel
+
+
+def make_clients(dataset, share_model=True, solver=None, seed=0):
+    solver = solver or FedAvgLocalSolver(step_size=0.05, num_steps=5, batch_size=8)
+    shared = MultinomialLogisticModel(dataset.num_features, dataset.num_classes)
+    clients = []
+    for dev in dataset.devices:
+        model = (
+            shared
+            if share_model
+            else MultinomialLogisticModel(dataset.num_features, dataset.num_classes)
+        )
+        clients.append(Client(dev.device_id, dev, model, solver, base_seed=seed))
+    return clients
+
+
+class TestClient:
+    def test_round_rng_deterministic(self, tiny_dataset):
+        c = make_clients(tiny_dataset)[0]
+        a = c.round_rng(3).standard_normal(4)
+        b = c.round_rng(3).standard_normal(4)
+        np.testing.assert_array_equal(a, b)
+        assert not np.allclose(a, c.round_rng(4).standard_normal(4))
+
+    def test_local_update_reproducible(self, tiny_dataset):
+        clients = make_clients(tiny_dataset)
+        c = clients[0]
+        w0 = c.model.init_parameters(0)
+        r1 = c.local_update(w0, round_index=1)
+        r2 = c.local_update(w0, round_index=1)
+        np.testing.assert_array_equal(r1.w_local, r2.w_local)
+
+    def test_num_train(self, tiny_dataset):
+        c = make_clients(tiny_dataset)[0]
+        assert c.num_train == tiny_dataset.devices[0].num_train
+
+    def test_evaluate_splits(self, tiny_dataset):
+        c = make_clients(tiny_dataset)[0]
+        w0 = c.model.init_parameters(0)
+        for split in ("train", "test"):
+            acc = c.evaluate(w0, split=split)
+            assert acc is None or 0.0 <= acc <= 1.0
+        with pytest.raises(ValueError):
+            c.evaluate(w0, split="validation")
+
+
+class TestExecutors:
+    def test_sequential_order(self, tiny_dataset):
+        clients = make_clients(tiny_dataset)
+        w0 = clients[0].model.init_parameters(0)
+        results = SequentialExecutor().run_round(clients, w0, 1)
+        assert len(results) == len(clients)
+
+    def test_thread_matches_sequential(self, tiny_dataset):
+        """Parallel execution must be bit-identical to sequential."""
+        w0 = MultinomialLogisticModel(
+            tiny_dataset.num_features, tiny_dataset.num_classes
+        ).init_parameters(0)
+
+        seq_clients = make_clients(tiny_dataset, share_model=True)
+        seq_results = SequentialExecutor().run_round(seq_clients, w0, 2)
+
+        par_clients = make_clients(tiny_dataset, share_model=False)
+        with ThreadPoolClientExecutor(max_workers=3) as pool:
+            par_results = pool.run_round(par_clients, w0, 2)
+
+        for rs, rp in zip(seq_results, par_results):
+            np.testing.assert_allclose(rs.w_local, rp.w_local)
+
+    def test_thread_rejects_shared_models(self, tiny_dataset):
+        clients = make_clients(tiny_dataset, share_model=True)
+        w0 = clients[0].model.init_parameters(0)
+        with ThreadPoolClientExecutor(max_workers=2) as pool:
+            with pytest.raises(RuntimeError, match="model instance"):
+                pool.run_round(clients, w0, 1)
+
+    def test_closed_executor_rejects_work(self, tiny_dataset):
+        clients = make_clients(tiny_dataset, share_model=False)
+        w0 = clients[0].model.init_parameters(0)
+        pool = ThreadPoolClientExecutor(max_workers=2)
+        pool.close()
+        with pytest.raises(RuntimeError):
+            pool.run_round(clients, w0, 1)
+
+    def test_close_idempotent(self):
+        pool = ThreadPoolClientExecutor(max_workers=1)
+        pool.close()
+        pool.close()  # must not raise

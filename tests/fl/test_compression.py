@@ -1,0 +1,137 @@
+"""Tests for repro.fl.compression."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.fl.compression import (
+    IdentityCompressor,
+    SignCompressor,
+    TopKSparsifier,
+    UniformQuantizer,
+    UpdateCompressor,
+    compress_round,
+)
+
+
+class TestIdentity:
+    def test_lossless(self):
+        u = np.array([1.0, -2.0, 3.0])
+        out = IdentityCompressor().compress(u)
+        np.testing.assert_array_equal(out.dense, u)
+        assert out.bits == 64 * 3
+
+    def test_returns_copy(self):
+        u = np.array([1.0])
+        out = IdentityCompressor().compress(u)
+        out.dense[0] = 99.0
+        assert u[0] == 1.0
+
+
+class TestTopK:
+    def test_keeps_largest(self):
+        u = np.array([0.1, -5.0, 0.2, 3.0])
+        out = TopKSparsifier(k=2).compress(u)
+        np.testing.assert_array_equal(out.dense, [0.0, -5.0, 0.0, 3.0])
+
+    def test_fraction_mode(self):
+        u = np.arange(10, dtype=np.float64)
+        out = TopKSparsifier(fraction=0.3).compress(u)
+        assert np.count_nonzero(out.dense) == 3
+
+    def test_bit_accounting(self):
+        out = TopKSparsifier(k=2).compress(np.array([1.0, 2.0, 3.0]))
+        assert out.bits == 2 * 96
+
+    def test_k_at_least_one(self):
+        out = TopKSparsifier(fraction=1e-9).compress(np.array([1.0, 2.0]))
+        assert np.count_nonzero(out.dense) == 1
+
+    def test_k_clipped_to_size(self):
+        u = np.array([1.0, 2.0])
+        out = TopKSparsifier(k=10).compress(u)
+        np.testing.assert_array_equal(out.dense, u)
+
+    def test_requires_exactly_one_mode(self):
+        with pytest.raises(ConfigurationError):
+            TopKSparsifier()
+        with pytest.raises(ConfigurationError):
+            TopKSparsifier(k=2, fraction=0.5)
+
+
+class TestQuantizer:
+    def test_constant_vector_exact(self):
+        u = np.full(5, 3.7)
+        out = UniformQuantizer(4).compress(u)
+        np.testing.assert_allclose(out.dense, u)
+
+    def test_endpoints_exact(self):
+        u = np.array([-1.0, 0.5, 2.0])
+        out = UniformQuantizer(8).compress(u)
+        assert out.dense.min() == pytest.approx(-1.0)
+        assert out.dense.max() == pytest.approx(2.0)
+
+    def test_error_bounded_by_half_step(self):
+        rng = np.random.default_rng(0)
+        u = rng.standard_normal(100)
+        bits = 6
+        out = UniformQuantizer(bits).compress(u)
+        step = (u.max() - u.min()) / (2**bits - 1)
+        assert np.max(np.abs(out.dense - u)) <= step / 2 + 1e-12
+
+    def test_more_bits_less_error(self):
+        rng = np.random.default_rng(1)
+        u = rng.standard_normal(200)
+        err4 = np.abs(UniformQuantizer(4).compress(u).dense - u).max()
+        err8 = np.abs(UniformQuantizer(8).compress(u).dense - u).max()
+        assert err8 < err4
+
+    def test_bit_accounting(self):
+        out = UniformQuantizer(8).compress(np.zeros(10))
+        assert out.bits == 8 * 10 + 128
+
+    def test_rejects_64_bits(self):
+        with pytest.raises(ConfigurationError):
+            UniformQuantizer(64)
+
+
+class TestSign:
+    def test_signs_preserved(self):
+        u = np.array([2.0, -0.5, 0.0])
+        out = SignCompressor().compress(u)
+        np.testing.assert_array_equal(np.sign(out.dense), np.sign(u))
+
+    def test_scale_is_mean_magnitude(self):
+        u = np.array([1.0, -3.0])
+        out = SignCompressor().compress(u)
+        np.testing.assert_allclose(np.abs(out.dense), 2.0)
+
+    def test_one_bit_per_coordinate(self):
+        out = SignCompressor().compress(np.ones(100))
+        assert out.bits == 100 + 64
+
+
+class TestCompressRound:
+    def test_identity_ratio_one(self):
+        w = np.zeros(4)
+        models = [np.ones(4), 2 * np.ones(4)]
+        recon, ratio = compress_round(models, w, IdentityCompressor())
+        assert ratio == pytest.approx(1.0)
+        np.testing.assert_array_equal(recon[0], models[0])
+
+    def test_topk_ratio_above_one(self):
+        rng = np.random.default_rng(2)
+        w = rng.standard_normal(1000)
+        models = [w + rng.standard_normal(1000) for _ in range(3)]
+        _, ratio = compress_round(models, w, TopKSparsifier(fraction=0.01))
+        assert ratio > 10
+
+    def test_reconstruction_anchored_on_global(self):
+        w = np.array([10.0, 10.0])
+        model = [np.array([10.0, 11.0])]
+        recon, _ = compress_round(model, w, SignCompressor())
+        # update (0, 1) -> signs (0, 1) * mean 0.5 -> w + (0, 0.5)
+        np.testing.assert_allclose(recon[0], [10.0, 10.5])
+
+    def test_dense_bits_static(self):
+        assert UpdateCompressor.dense_bits(10) == 640

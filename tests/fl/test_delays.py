@@ -1,0 +1,89 @@
+"""Tests for repro.fl.delays."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.fl.delays import (
+    DelayModel,
+    DeviceDelay,
+    make_heterogeneous_delays,
+    make_uniform_delays,
+)
+
+
+class TestDeviceDelay:
+    def test_round_delay_formula(self):
+        d = DeviceDelay(d_cmp=0.1, d_com=2.0)
+        assert d.round_delay(10) == pytest.approx(2.0 + 1.0)
+
+    def test_gamma(self):
+        assert DeviceDelay(0.5, 2.0).gamma == pytest.approx(0.25)
+
+    def test_gamma_infinite_when_no_communication(self):
+        assert DeviceDelay(1.0, 0.0).gamma == float("inf")
+
+    def test_negative_rejected(self):
+        with pytest.raises(Exception):
+            DeviceDelay(-0.1, 1.0)
+
+    def test_negative_eval_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DeviceDelay(0.1, 1.0).round_delay(-1)
+
+
+class TestDelayModel:
+    def test_round_delays_ordered(self):
+        model = DelayModel([DeviceDelay(1.0, 0.0), DeviceDelay(0.0, 5.0)])
+        delays = model.round_delays([3, 100])
+        assert delays == [3.0, 5.0]
+
+    def test_count_mismatch_rejected(self):
+        model = make_uniform_delays(3)
+        with pytest.raises(ConfigurationError):
+            model.round_delays([1, 2])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DelayModel([])
+
+    def test_mean_gamma(self):
+        model = DelayModel([DeviceDelay(1.0, 1.0), DeviceDelay(3.0, 1.0)])
+        assert model.mean_gamma() == pytest.approx(2.0)
+
+
+class TestFactories:
+    def test_uniform(self):
+        model = make_uniform_delays(4, d_cmp=0.5, d_com=2.0)
+        assert len(model) == 4
+        assert all(d.d_cmp == 0.5 and d.d_com == 2.0 for d in model.delays)
+
+    def test_heterogeneous_mean_roughly_matches(self):
+        model = make_heterogeneous_delays(
+            2000, d_cmp_mean=0.01, d_com_mean=1.0, spread=0.5, seed=0
+        )
+        cmp_mean = np.mean([d.d_cmp for d in model.delays])
+        com_mean = np.mean([d.d_com for d in model.delays])
+        assert cmp_mean == pytest.approx(0.01, rel=0.1)
+        assert com_mean == pytest.approx(1.0, rel=0.1)
+
+    def test_heterogeneous_has_spread(self):
+        model = make_heterogeneous_delays(100, spread=1.0, seed=1)
+        values = [d.d_com for d in model.delays]
+        assert max(values) > 2 * min(values)
+
+    def test_zero_spread_is_uniform(self):
+        model = make_heterogeneous_delays(10, spread=0.0, seed=2)
+        values = {round(d.d_cmp, 12) for d in model.delays}
+        assert len(values) == 1
+
+    def test_deterministic(self):
+        a = make_heterogeneous_delays(5, seed=3)
+        b = make_heterogeneous_delays(5, seed=3)
+        assert [d.d_cmp for d in a.delays] == [d.d_cmp for d in b.delays]
+
+    def test_bad_counts_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_uniform_delays(0)
+        with pytest.raises(ConfigurationError):
+            make_heterogeneous_delays(0)

@@ -1,0 +1,91 @@
+"""Tests for repro.fl.history."""
+
+import json
+
+import pytest
+
+from repro.fl.history import RoundRecord, TrainingHistory, format_comparison
+
+
+def record(i, loss, acc=0.5, grad=1.0):
+    return RoundRecord(
+        round_index=i,
+        train_loss=loss,
+        grad_norm=grad,
+        test_accuracy=acc,
+        sim_time=float(i),
+        wall_time=float(i) * 0.1,
+    )
+
+
+class TestTrainingHistory:
+    def make(self):
+        h = TrainingHistory(algorithm="fedavg", dataset="toy", config={"tau": 5})
+        for i, loss in enumerate([3.0, 2.0, 1.5], start=1):
+            h.append(record(i, loss, acc=0.3 + 0.1 * i))
+        return h
+
+    def test_series(self):
+        h = self.make()
+        assert h.series("train_loss") == [3.0, 2.0, 1.5]
+        assert h.num_rounds == 3
+
+    def test_unknown_metric_raises(self):
+        with pytest.raises(KeyError):
+            self.make().series("nope")
+
+    def test_final_and_best(self):
+        h = self.make()
+        assert h.final("train_loss") == 1.5
+        assert h.best("test_accuracy") == pytest.approx(0.6)
+        assert h.best("train_loss", maximize=False) == 1.5
+
+    def test_empty_history_nan(self):
+        h = TrainingHistory("a", "b")
+        assert h.final("train_loss") != h.final("train_loss")  # NaN
+        assert h.series("train_loss") == []
+
+    def test_diverged_on_nan(self):
+        h = TrainingHistory("a", "b")
+        h.append(record(1, float("nan")))
+        assert h.diverged()
+
+    def test_diverged_on_ceiling(self):
+        h = TrainingHistory("a", "b")
+        h.append(record(1, 10.0))
+        assert h.diverged(loss_ceiling=5.0)
+        assert not h.diverged(loss_ceiling=50.0)
+
+    def test_rounds_to_targets(self):
+        h = self.make()
+        assert h.rounds_to_loss(2.0) == 2
+        assert h.rounds_to_loss(0.1) is None
+        assert h.rounds_to_accuracy(0.5) == 2
+        assert h.rounds_to_accuracy(0.99) is None
+
+    def test_roundtrip_dict(self):
+        h = self.make()
+        back = TrainingHistory.from_dict(h.to_dict())
+        assert back.algorithm == h.algorithm
+        assert back.config == h.config
+        assert back.series("train_loss") == h.series("train_loss")
+
+    def test_to_json_file(self, tmp_path):
+        h = self.make()
+        path = tmp_path / "hist.json"
+        h.to_json(str(path))
+        payload = json.loads(path.read_text())
+        assert payload["algorithm"] == "fedavg"
+        assert len(payload["records"]) == 3
+
+
+class TestFormatComparison:
+    def test_contains_all_algorithms(self):
+        h1 = TrainingHistory("fedavg", "toy")
+        h1.append(record(1, 1.0, acc=0.7))
+        h2 = TrainingHistory("fedproxvr-sarah", "toy")
+        h2.append(record(1, 0.9, acc=0.8))
+        text = format_comparison([h1, h2])
+        assert "fedavg" in text
+        assert "fedproxvr-sarah" in text
+        assert "0.8" in text

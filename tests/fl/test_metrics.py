@@ -1,0 +1,100 @@
+"""Tests for repro.fl.metrics."""
+
+import numpy as np
+import pytest
+
+from repro.core.local import FedAvgLocalSolver
+from repro.datasets.base import DeviceData, FederatedDataset
+from repro.fl.client import Client
+from repro.fl.metrics import (
+    global_accuracy,
+    global_gradient_norm,
+    global_loss,
+    global_loss_and_gradient_norm,
+    heterogeneity_sigma_bar_sq,
+)
+from repro.models import MultinomialLogisticModel
+
+
+@pytest.fixture()
+def federation(tiny_dataset):
+    model = MultinomialLogisticModel(
+        tiny_dataset.num_features, tiny_dataset.num_classes
+    )
+    solver = FedAvgLocalSolver(step_size=0.1, num_steps=1, batch_size=8)
+    clients = [
+        Client(d.device_id, d, model, solver, base_seed=0)
+        for d in tiny_dataset.devices
+    ]
+    return model, clients
+
+
+class TestGlobalLoss:
+    def test_matches_pooled_loss(self, tiny_dataset, federation):
+        """p_n-weighted device losses equal the loss over pooled data."""
+        model, clients = federation
+        w = model.init_parameters(0)
+        X, y = tiny_dataset.global_train()
+        pooled = model.loss(w, X, y)
+        assert global_loss(model, clients, w) == pytest.approx(pooled)
+
+    def test_loss_and_grad_consistent(self, tiny_dataset, federation):
+        model, clients = federation
+        w = model.init_parameters(1)
+        loss, grad_norm = global_loss_and_gradient_norm(model, clients, w)
+        assert loss == pytest.approx(global_loss(model, clients, w))
+        assert grad_norm == pytest.approx(global_gradient_norm(model, clients, w))
+
+    def test_grad_norm_matches_pooled_gradient(self, tiny_dataset, federation):
+        model, clients = federation
+        w = model.init_parameters(2)
+        X, y = tiny_dataset.global_train()
+        pooled_norm = float(np.linalg.norm(model.gradient(w, X, y)))
+        assert global_gradient_norm(model, clients, w) == pytest.approx(pooled_norm)
+
+
+class TestGlobalAccuracy:
+    def test_matches_pooled_accuracy(self, tiny_dataset, federation):
+        model, clients = federation
+        w = model.init_parameters(3)
+        Xt, yt = tiny_dataset.global_test()
+        pooled = model.accuracy(w, Xt, yt)
+        assert global_accuracy(model, clients, w) == pytest.approx(pooled)
+
+    def test_train_split(self, tiny_dataset, federation):
+        model, clients = federation
+        w = model.init_parameters(3)
+        X, y = tiny_dataset.global_train()
+        assert global_accuracy(model, clients, w, split="train") == pytest.approx(
+            model.accuracy(w, X, y)
+        )
+
+    def test_empty_test_shards_skipped(self):
+        model = MultinomialLogisticModel(2, 2)
+        dev = DeviceData(
+            0, np.zeros((3, 2)), np.zeros(3, dtype=int), np.zeros((0, 2)), np.zeros(0)
+        )
+        FederatedDataset([dev], num_features=2, num_classes=2)
+        solver = FedAvgLocalSolver(step_size=0.1, num_steps=1, batch_size=2)
+        clients = [Client(0, dev, model, solver)]
+        w = model.init_parameters(0)
+        assert np.isnan(global_accuracy(model, clients, w))
+
+
+class TestHeterogeneity:
+    def test_identical_devices_zero(self):
+        model = MultinomialLogisticModel(3, 2)
+        rng = np.random.default_rng(0)
+        X = rng.standard_normal((10, 3))
+        y = rng.integers(0, 2, 10)
+        dev_a = DeviceData(0, X, y, np.zeros((0, 3)), np.zeros(0))
+        dev_b = DeviceData(1, X.copy(), y.copy(), np.zeros((0, 3)), np.zeros(0))
+        solver = FedAvgLocalSolver(step_size=0.1, num_steps=1, batch_size=4)
+        clients = [Client(0, dev_a, model, solver), Client(1, dev_b, model, solver)]
+        sigma_sq = heterogeneity_sigma_bar_sq(model, clients, model.init_parameters(0))
+        assert sigma_sq == pytest.approx(0.0, abs=1e-20)
+
+    def test_heterogeneous_devices_positive(self, tiny_dataset, federation):
+        model, clients = federation
+        sigma_sq = heterogeneity_sigma_bar_sq(model, clients, model.init_parameters(0))
+        assert sigma_sq > 0.1

@@ -1,0 +1,61 @@
+"""Tests for per-device metrics."""
+
+import numpy as np
+
+from repro.core.local import FedAvgLocalSolver
+from repro.fl.client import Client
+from repro.fl.metrics import global_accuracy, per_device_accuracy
+from repro.models import MultinomialLogisticModel
+
+
+def make_clients(dataset):
+    model = MultinomialLogisticModel(dataset.num_features, dataset.num_classes)
+    solver = FedAvgLocalSolver(step_size=0.05, num_steps=1, batch_size=8)
+    return model, [
+        Client(d.device_id, d, model, solver, base_seed=0) for d in dataset.devices
+    ]
+
+
+class TestPerDeviceAccuracy:
+    def test_keys_are_device_ids(self, tiny_dataset):
+        model, clients = make_clients(tiny_dataset)
+        w = model.init_parameters(0)
+        accs = per_device_accuracy(model, clients, w)
+        expected_ids = {
+            d.device_id for d in tiny_dataset.devices if d.num_test > 0
+        }
+        assert set(accs) == expected_ids
+
+    def test_values_in_unit_interval(self, tiny_dataset):
+        model, clients = make_clients(tiny_dataset)
+        w = model.init_parameters(1)
+        for acc in per_device_accuracy(model, clients, w).values():
+            assert 0.0 <= acc <= 1.0
+
+    def test_weighted_mean_matches_global(self, tiny_dataset):
+        model, clients = make_clients(tiny_dataset)
+        w = model.init_parameters(2)
+        accs = per_device_accuracy(model, clients, w)
+        sizes = {
+            d.device_id: d.num_test for d in tiny_dataset.devices if d.num_test > 0
+        }
+        total = sum(sizes.values())
+        weighted = sum(accs[i] * sizes[i] for i in accs) / total
+        assert weighted == global_accuracy(model, clients, w)
+
+    def test_train_split(self, tiny_dataset):
+        model, clients = make_clients(tiny_dataset)
+        w = model.init_parameters(3)
+        accs = per_device_accuracy(model, clients, w, split="train")
+        assert len(accs) == tiny_dataset.num_devices
+
+    def test_reveals_heterogeneous_performance(self, tiny_dataset):
+        """After training, per-device accuracies should differ — the
+        heterogeneity the averaged metric hides."""
+        model, clients = make_clients(tiny_dataset)
+        X, y = tiny_dataset.global_train()
+        w = model.init_parameters(0)
+        for _ in range(100):
+            w = w - 0.3 * model.gradient(w, X, y)
+        accs = list(per_device_accuracy(model, clients, w).values())
+        assert max(accs) - min(accs) > 0.01

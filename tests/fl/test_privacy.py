@@ -1,0 +1,159 @@
+"""Tests for repro.fl.privacy."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.fl.privacy import (
+    GaussianMechanism,
+    PrivacyAccountant,
+    clip_update,
+    privatize_round,
+)
+
+
+class TestClipUpdate:
+    def test_inside_ball_unchanged(self):
+        u = np.array([0.3, 0.4])  # norm 0.5
+        out, clipped = clip_update(u, 1.0)
+        np.testing.assert_array_equal(out, u)
+        assert not clipped
+
+    def test_outside_ball_projected(self):
+        u = np.array([3.0, 4.0])  # norm 5
+        out, clipped = clip_update(u, 1.0)
+        assert clipped
+        assert np.linalg.norm(out) == pytest.approx(1.0)
+        # direction preserved
+        np.testing.assert_allclose(out / np.linalg.norm(out), u / 5.0)
+
+    def test_zero_vector(self):
+        out, clipped = clip_update(np.zeros(3), 1.0)
+        assert not clipped
+        assert not out.any()
+
+    def test_returns_copy(self):
+        u = np.array([0.1, 0.1])
+        out, _ = clip_update(u, 1.0)
+        out[0] = 9.0
+        assert u[0] == 0.1
+
+
+class TestGaussianMechanism:
+    def test_zero_noise_is_clipping_only(self):
+        mech = GaussianMechanism(clip_norm=1.0, noise_multiplier=0.0)
+        u = np.array([3.0, 4.0])
+        out = mech.privatize(u, rng=0)
+        assert np.linalg.norm(out) == pytest.approx(1.0)
+
+    def test_noise_scale(self):
+        mech = GaussianMechanism(clip_norm=2.0, noise_multiplier=1.5)
+        rng = np.random.default_rng(0)
+        samples = np.stack(
+            [mech.privatize(np.zeros(1000), rng) for _ in range(3)]
+        )
+        assert samples.std() == pytest.approx(3.0, rel=0.1)
+
+    def test_deterministic_with_seed(self):
+        mech = GaussianMechanism(clip_norm=1.0, noise_multiplier=1.0)
+        a = mech.privatize(np.ones(5), rng=7)
+        b = mech.privatize(np.ones(5), rng=7)
+        np.testing.assert_array_equal(a, b)
+
+    def test_epsilon_formula(self):
+        mech = GaussianMechanism(clip_norm=1.0, noise_multiplier=2.0)
+        delta = 1e-5
+        expected = math.sqrt(2 * math.log(1.25 / delta)) / 2.0
+        assert mech.epsilon_per_release(delta) == pytest.approx(expected)
+
+    def test_more_noise_less_epsilon(self):
+        weak = GaussianMechanism(1.0, 0.5).epsilon_per_release(1e-5)
+        strong = GaussianMechanism(1.0, 4.0).epsilon_per_release(1e-5)
+        assert strong < weak
+
+    def test_zero_noise_infinite_epsilon(self):
+        assert GaussianMechanism(1.0, 0.0).epsilon_per_release(1e-5) == math.inf
+
+    def test_delta_validated(self):
+        with pytest.raises(ConfigurationError):
+            GaussianMechanism(1.0, 1.0).epsilon_per_release(0.0)
+
+
+class TestPrivacyAccountant:
+    def test_basic_composition_adds(self):
+        acct = PrivacyAccountant(delta=1e-5)
+        mech = GaussianMechanism(1.0, 2.0)
+        per = mech.epsilon_per_release(1e-5)
+        acct.record_release(mech)
+        acct.record_release(mech)
+        assert acct.total_epsilon == pytest.approx(2 * per)
+        assert acct.num_releases == 2
+
+    def test_remaining_budget(self):
+        acct = PrivacyAccountant(delta=1e-5)
+        mech = GaussianMechanism(1.0, 10.0)
+        acct.record_release(mech)
+        assert acct.remaining(10.0) == pytest.approx(
+            10.0 - mech.epsilon_per_release(1e-5)
+        )
+
+    def test_invalid_delta_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PrivacyAccountant(delta=1.5)
+
+
+class TestPrivatizeRound:
+    def test_reconstruction_anchored_on_global(self):
+        w = np.full(4, 10.0)
+        models = [w + np.array([0.1, 0.0, 0.0, 0.0])]
+        mech = GaussianMechanism(clip_norm=1.0, noise_multiplier=0.0)
+        out = privatize_round(models, w, mech, seed=0)
+        np.testing.assert_allclose(out[0], models[0])
+
+    def test_large_updates_clipped(self):
+        w = np.zeros(3)
+        models = [np.full(3, 100.0)]
+        mech = GaussianMechanism(clip_norm=1.0, noise_multiplier=0.0)
+        out = privatize_round(models, w, mech, seed=0)
+        assert np.linalg.norm(out[0] - w) == pytest.approx(1.0)
+
+    def test_accountant_charged_once_per_round(self):
+        acct = PrivacyAccountant(delta=1e-5)
+        mech = GaussianMechanism(1.0, 2.0)
+        privatize_round([np.ones(2)] * 5, np.zeros(2), mech, accountant=acct, seed=0)
+        assert acct.num_releases == 1
+
+    def test_noisy_training_still_converges(self, tiny_dataset, tiny_model_factory):
+        """End-to-end: FedProxVR with DP-released updates still trains
+        under mild noise."""
+        from repro.core.local import FedProxVRLocalSolver
+        from repro.fl.client import Client
+        from repro.fl.aggregation import weighted_average
+        from repro.fl.metrics import global_loss
+
+        model = tiny_model_factory()
+        X, _ = tiny_dataset.global_train()
+        L = model.smoothness(X)
+        solver = FedProxVRLocalSolver(
+            step_size=1.0 / (5 * L), num_steps=8, batch_size=8, mu=0.1,
+            evaluate_final=False,
+        )
+        clients = [
+            Client(d.device_id, d, model, solver, base_seed=0)
+            for d in tiny_dataset.devices
+        ]
+        mech = GaussianMechanism(clip_norm=5.0, noise_multiplier=0.01)
+        acct = PrivacyAccountant(delta=1e-5)
+        w = model.init_parameters(0)
+        first = global_loss(model, clients, w)
+        for s in range(1, 16):
+            locals_ = [c.local_update(w, s).w_local for c in clients]
+            released = privatize_round(
+                locals_, w, mech, accountant=acct, seed=s
+            )
+            w = weighted_average(released, tiny_dataset.weights())
+        assert global_loss(model, clients, w) < first
+        assert acct.num_releases == 15
+        assert acct.total_epsilon > 0

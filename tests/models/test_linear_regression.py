@@ -1,0 +1,93 @@
+"""Tests for repro.models.linear_regression."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DimensionMismatchError
+from repro.models import LinearRegressionModel
+
+
+class TestBasics:
+    def test_parameter_count(self):
+        assert LinearRegressionModel(5).num_parameters == 6
+        assert LinearRegressionModel(5, fit_intercept=False).num_parameters == 5
+
+    def test_zero_loss_on_exact_fit(self):
+        model = LinearRegressionModel(2, fit_intercept=False)
+        w = np.array([2.0, -1.0])
+        X = np.array([[1.0, 0.0], [0.0, 1.0], [1.0, 1.0]])
+        y = X @ w
+        assert model.loss(w, X, y) == pytest.approx(0.0)
+
+    def test_loss_value(self):
+        model = LinearRegressionModel(1, fit_intercept=False)
+        # residual = 1 on a single sample -> loss = 0.5
+        assert model.loss(np.array([0.0]), [[1.0]], [1.0]) == pytest.approx(0.5)
+
+    def test_intercept_used(self):
+        model = LinearRegressionModel(1)
+        w = np.array([0.0, 3.0])  # weight 0, intercept 3
+        pred = model.predict(w, [[10.0]])
+        assert pred[0] == pytest.approx(3.0)
+
+    def test_wrong_parameter_size_raises(self):
+        model = LinearRegressionModel(3)
+        with pytest.raises(DimensionMismatchError):
+            model.loss(np.zeros(3), np.zeros((2, 3)), np.zeros(2))
+
+
+class TestGradients:
+    def test_matches_finite_difference(self, fd_gradient):
+        rng = np.random.default_rng(0)
+        model = LinearRegressionModel(4, l2=0.1)
+        X = rng.standard_normal((10, 4))
+        y = rng.standard_normal(10)
+        w = rng.standard_normal(model.num_parameters)
+        _, grad = model.loss_and_gradient(w, X, y)
+        fd = fd_gradient(lambda v: model.loss(v, X, y), w)
+        np.testing.assert_allclose(grad, fd, atol=1e-7)
+
+    def test_gradient_zero_at_least_squares_solution(self):
+        rng = np.random.default_rng(1)
+        X = rng.standard_normal((30, 3))
+        w_true = np.array([1.0, -2.0, 0.5])
+        y = X @ w_true
+        model = LinearRegressionModel(3, fit_intercept=False)
+        grad = model.gradient(w_true, X, y)
+        np.testing.assert_allclose(grad, 0.0, atol=1e-12)
+
+    def test_l2_not_applied_to_intercept(self):
+        model = LinearRegressionModel(2, l2=1.0)
+        w = np.array([0.0, 0.0, 5.0])  # big intercept, zero weights
+        X = np.array([[0.0, 0.0]])
+        y = np.array([5.0])  # perfectly fit by the intercept
+        _, grad = model.loss_and_gradient(w, X, y)
+        # no regularization pull on the intercept coordinate
+        assert grad[2] == pytest.approx(0.0)
+
+
+class TestMetrics:
+    def test_r2_perfect(self):
+        model = LinearRegressionModel(1, fit_intercept=False)
+        X = np.array([[1.0], [2.0]])
+        w = np.array([3.0])
+        assert model.accuracy(w, X, X[:, 0] * 3.0) == pytest.approx(1.0)
+
+    def test_r2_mean_predictor_zero(self):
+        model = LinearRegressionModel(1)
+        y = np.array([1.0, 3.0])
+        w = np.array([0.0, 2.0])  # constant prediction = mean(y)
+        X = np.array([[0.0], [0.0]])
+        assert model.accuracy(w, X, y) == pytest.approx(0.0)
+
+    def test_smoothness_includes_intercept_and_l2(self):
+        X = np.array([[3.0, 4.0]])
+        model = LinearRegressionModel(2, l2=0.5)
+        # ||x||^2 + 1 (intercept col) + l2
+        assert model.smoothness(X) == pytest.approx(25.0 + 1.0 + 0.5)
+
+    def test_init_parameters_deterministic(self):
+        model = LinearRegressionModel(4)
+        np.testing.assert_array_equal(
+            model.init_parameters(3), model.init_parameters(3)
+        )

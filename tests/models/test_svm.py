@@ -1,0 +1,60 @@
+"""Tests for repro.models.svm."""
+
+import numpy as np
+import pytest
+
+from repro.models import LinearSVMModel
+
+
+class TestBasics:
+    def test_parameter_count(self):
+        assert LinearSVMModel(4, 3).num_parameters == 15
+        assert LinearSVMModel(4, 3, fit_intercept=False).num_parameters == 12
+
+    def test_loss_at_zero_is_one(self):
+        # all scores zero -> margin = 1 for every sample
+        model = LinearSVMModel(3, 2, l2=0.0)
+        X = np.ones((4, 3))
+        y = np.zeros(4, dtype=int)
+        assert model.loss(np.zeros(model.num_parameters), X, y) == pytest.approx(1.0)
+
+    def test_separable_data_zero_hinge(self):
+        model = LinearSVMModel(2, 2, l2=0.0, fit_intercept=False)
+        w = model.spec.flatten([np.array([[10.0, -10.0], [0.0, 0.0]])])
+        X = np.array([[1.0, 0.0], [-1.0, 0.0]])
+        y = np.array([0, 1])
+        assert model.loss(w, X, y) == pytest.approx(0.0)
+        assert model.accuracy(w, X, y) == 1.0
+
+    def test_l2_contributes(self):
+        model = LinearSVMModel(2, 2, l2=2.0, fit_intercept=False)
+        w = model.spec.flatten([np.eye(2) * 3.0])
+        X = np.array([[0.0, 0.0]])
+        y = np.array([0])
+        # hinge at zero scores = 1; l2 = 0.5*2*(9+9)
+        assert model.loss(w, X, y) == pytest.approx(1.0 + 18.0)
+
+
+class TestGradients:
+    def test_matches_finite_difference_generic_point(self, fd_gradient):
+        rng = np.random.default_rng(0)
+        model = LinearSVMModel(4, 3, l2=0.1)
+        X = rng.standard_normal((8, 4)) * 2
+        y = rng.integers(0, 3, 8)
+        w = rng.standard_normal(model.num_parameters)
+        _, grad = model.loss_and_gradient(w, X, y)
+        fd = fd_gradient(lambda v: model.loss(v, X, y), w, eps=1e-7)
+        np.testing.assert_allclose(grad, fd, atol=1e-5)
+
+    def test_subgradient_descent_improves(self):
+        rng = np.random.default_rng(1)
+        # two well-separated clusters
+        X = np.concatenate(
+            [rng.standard_normal((40, 3)) + 3, rng.standard_normal((40, 3)) - 3]
+        )
+        y = np.concatenate([np.zeros(40, dtype=int), np.ones(40, dtype=int)])
+        model = LinearSVMModel(3, 2, l2=1e-3)
+        w = model.init_parameters(0)
+        for _ in range(100):
+            w = w - 0.1 * model.gradient(w, X, y)
+        assert model.accuracy(w, X, y) > 0.95

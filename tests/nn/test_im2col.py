@@ -1,0 +1,111 @@
+"""Tests for repro.nn.im2col."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, DimensionMismatchError
+from repro.nn.im2col import col2im, conv_output_size, im2col, sliding_windows
+
+
+class TestConvOutputSize:
+    def test_basic(self):
+        assert conv_output_size(28, 5, 1, 0) == 24
+        assert conv_output_size(28, 5, 1, 2) == 28
+        assert conv_output_size(28, 2, 2, 0) == 14
+
+    def test_nonpositive_raises(self):
+        with pytest.raises(ConfigurationError):
+            conv_output_size(3, 5, 1, 0)
+
+
+class TestSlidingWindows:
+    def test_shapes(self):
+        x = np.arange(2 * 3 * 4 * 4, dtype=np.float64).reshape(2, 3, 4, 4)
+        win = sliding_windows(x, (2, 2), 1)
+        assert win.shape == (2, 3, 3, 3, 2, 2)
+
+    def test_window_contents(self):
+        x = np.arange(16, dtype=np.float64).reshape(1, 1, 4, 4)
+        win = sliding_windows(x, (2, 2), 2)
+        np.testing.assert_array_equal(win[0, 0, 0, 0], [[0, 1], [4, 5]])
+        np.testing.assert_array_equal(win[0, 0, 1, 1], [[10, 11], [14, 15]])
+
+    def test_zero_copy_view(self):
+        x = np.zeros((1, 1, 4, 4))
+        win = sliding_windows(x, (2, 2), 1)
+        assert win.base is not None  # a view, not a copy
+
+
+class TestIm2Col:
+    def test_shape(self):
+        x = np.zeros((2, 3, 8, 8))
+        cols = im2col(x, (3, 3), stride=1, padding=0)
+        assert cols.shape == (3 * 9, 2 * 6 * 6)
+
+    def test_identity_kernel_1x1(self):
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((2, 3, 4, 4))
+        cols = im2col(x, (1, 1))
+        # 1x1 patches are just the pixels, channel-major then batch-major.
+        expected = x.transpose(1, 0, 2, 3).reshape(3, -1)
+        np.testing.assert_allclose(cols, expected)
+
+    def test_matches_naive_convolution(self):
+        rng = np.random.default_rng(1)
+        x = rng.standard_normal((2, 2, 6, 6))
+        w = rng.standard_normal((4, 2, 3, 3))
+        cols = im2col(x, (3, 3), stride=1, padding=1)
+        out = (w.reshape(4, -1) @ cols).reshape(4, 2, 6, 6).transpose(1, 0, 2, 3)
+
+        # naive direct cross-correlation
+        xp = np.pad(x, ((0, 0), (0, 0), (1, 1), (1, 1)))
+        naive = np.zeros((2, 4, 6, 6))
+        for n in range(2):
+            for o in range(4):
+                for i in range(6):
+                    for j in range(6):
+                        patch = xp[n, :, i : i + 3, j : j + 3]
+                        naive[n, o, i, j] = np.sum(patch * w[o])
+        np.testing.assert_allclose(out, naive, rtol=1e-12)
+
+    def test_bad_input_shape_raises(self):
+        with pytest.raises(DimensionMismatchError):
+            im2col(np.zeros((3, 8, 8)), (3, 3))
+
+    def test_bad_stride_raises(self):
+        with pytest.raises(ConfigurationError):
+            im2col(np.zeros((1, 1, 8, 8)), (3, 3), stride=0)
+
+
+class TestCol2Im:
+    def test_adjoint_property(self):
+        """col2im must be the exact transpose of im2col: <im2col(x), c> ==
+        <x, col2im(c)> for all x, c."""
+        rng = np.random.default_rng(2)
+        x_shape = (2, 3, 5, 5)
+        kernel, stride, padding = (3, 3), 2, 1
+        x = rng.standard_normal(x_shape)
+        cols = im2col(x, kernel, stride, padding)
+        c = rng.standard_normal(cols.shape)
+        lhs = np.sum(cols * c)
+        rhs = np.sum(x * col2im(c, x_shape, kernel, stride, padding))
+        assert lhs == pytest.approx(rhs, rel=1e-12)
+
+    def test_nonoverlapping_roundtrip(self):
+        rng = np.random.default_rng(3)
+        x = rng.standard_normal((1, 2, 4, 4))
+        cols = im2col(x, (2, 2), stride=2)
+        back = col2im(cols, x.shape, (2, 2), stride=2)
+        np.testing.assert_allclose(back, x)
+
+    def test_overlap_accumulates(self):
+        x_shape = (1, 1, 3, 3)
+        cols = np.ones((4, 4))  # 2x2 kernel, stride 1 -> 2x2 positions
+        back = col2im(cols, x_shape, (2, 2), stride=1)
+        # center pixel is covered by all four windows
+        assert back[0, 0, 1, 1] == 4.0
+        assert back[0, 0, 0, 0] == 1.0
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(DimensionMismatchError):
+            col2im(np.zeros((4, 5)), (1, 1, 3, 3), (2, 2), stride=1)

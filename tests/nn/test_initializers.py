@@ -1,0 +1,54 @@
+"""Tests for repro.nn.initializers."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.nn import initializers
+
+
+class TestRegistry:
+    def test_lookup_known(self):
+        assert initializers.get("zeros") is initializers.zeros
+        assert initializers.get("glorot_uniform") is initializers.glorot_uniform
+        assert initializers.get("he_normal") is initializers.he_normal
+
+    def test_unknown_raises_with_choices(self):
+        with pytest.raises(ConfigurationError, match="glorot_uniform"):
+            initializers.get("nope")
+
+
+class TestDistributions:
+    def test_zeros(self):
+        out = initializers.zeros((3, 4), (3, 4), np.random.default_rng(0))
+        assert out.shape == (3, 4)
+        assert not out.any()
+
+    def test_glorot_limit(self):
+        rng = np.random.default_rng(0)
+        out = initializers.glorot_uniform((200, 100), (200, 100), rng)
+        limit = np.sqrt(6.0 / 300)
+        assert np.all(np.abs(out) <= limit)
+        # should actually use the range, not collapse near zero
+        assert np.abs(out).max() > 0.5 * limit
+
+    def test_he_normal_std(self):
+        rng = np.random.default_rng(0)
+        out = initializers.he_normal((50, 200), (50, 200), rng)
+        expected_std = np.sqrt(2.0 / 50)
+        assert out.std() == pytest.approx(expected_std, rel=0.1)
+
+    def test_normal_scaled(self):
+        rng = np.random.default_rng(0)
+        out = initializers.normal_scaled((100, 100), (1, 1), rng)
+        assert out.std() == pytest.approx(0.01, rel=0.1)
+
+    def test_determinism_with_same_rng_seed(self):
+        a = initializers.he_normal((4, 4), (4, 4), np.random.default_rng(5))
+        b = initializers.he_normal((4, 4), (4, 4), np.random.default_rng(5))
+        np.testing.assert_array_equal(a, b)
+
+    def test_float64_dtype(self):
+        for name in ("zeros", "glorot_uniform", "he_normal", "normal_scaled"):
+            out = initializers.get(name)((2, 2), (2, 2), np.random.default_rng(0))
+            assert out.dtype == np.float64

@@ -1,0 +1,205 @@
+"""Tests for individual layers: shapes, semantics, parameter plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, DimensionMismatchError
+from repro.nn import Conv2D, Dense, Flatten, MaxPool2D, ReLU, Sigmoid, Tanh
+
+
+class TestDense:
+    def test_forward_affine(self):
+        layer = Dense(3, 2, seed=0)
+        layer.weight[...] = np.array([[1.0, 0.0], [0.0, 1.0], [1.0, 1.0]])
+        layer.bias[...] = np.array([0.5, -0.5])
+        out = layer.forward(np.array([[1.0, 2.0, 3.0]]))
+        np.testing.assert_allclose(out, [[1 + 3 + 0.5, 2 + 3 - 0.5]])
+
+    def test_no_bias(self):
+        layer = Dense(3, 2, use_bias=False, seed=0)
+        assert len(layer.parameters()) == 1
+        out = layer.forward(np.zeros((4, 3)))
+        np.testing.assert_allclose(out, np.zeros((4, 2)))
+
+    def test_backward_shapes(self):
+        layer = Dense(5, 3, seed=0)
+        x = np.random.default_rng(0).standard_normal((7, 5))
+        layer.forward(x)
+        gin = layer.backward(np.ones((7, 3)))
+        assert gin.shape == (7, 5)
+        assert layer.grad_weight.shape == (5, 3)
+        assert layer.grad_bias.shape == (3,)
+
+    def test_backward_before_forward_raises(self):
+        layer = Dense(2, 2, seed=0)
+        with pytest.raises(RuntimeError):
+            layer.backward(np.ones((1, 2)))
+
+    def test_wrong_input_width_raises(self):
+        layer = Dense(3, 2, seed=0)
+        with pytest.raises(DimensionMismatchError):
+            layer.forward(np.zeros((4, 5)))
+
+    def test_grad_bias_is_column_sum(self):
+        layer = Dense(2, 2, seed=0)
+        layer.forward(np.zeros((3, 2)))
+        layer.backward(np.array([[1.0, 2.0], [3.0, 4.0], [5.0, 6.0]]))
+        np.testing.assert_allclose(layer.grad_bias, [9.0, 12.0])
+
+    def test_num_parameters(self):
+        assert Dense(4, 3, seed=0).num_parameters == 4 * 3 + 3
+
+    def test_zero_gradients(self):
+        layer = Dense(2, 2, seed=0)
+        layer.forward(np.ones((1, 2)))
+        layer.backward(np.ones((1, 2)))
+        layer.zero_gradients()
+        assert not layer.grad_weight.any()
+        assert not layer.grad_bias.any()
+
+
+class TestConv2D:
+    def test_output_shape_same_padding(self):
+        conv = Conv2D(1, 4, 5, padding=2, seed=0)
+        assert conv.output_shape((1, 28, 28)) == (4, 28, 28)
+
+    def test_forward_shape(self):
+        conv = Conv2D(3, 8, 3, padding=1, seed=0)
+        out = conv.forward(np.zeros((2, 3, 10, 10)))
+        assert out.shape == (2, 8, 10, 10)
+
+    def test_known_convolution(self):
+        conv = Conv2D(1, 1, 2, use_bias=False, seed=0)
+        conv.weight[...] = np.array([[[[1.0, 0.0], [0.0, -1.0]]]])
+        x = np.array([[[[1.0, 2.0], [3.0, 4.0]]]])
+        out = conv.forward(x)
+        assert out.shape == (1, 1, 1, 1)
+        assert out[0, 0, 0, 0] == pytest.approx(1.0 - 4.0)
+
+    def test_bias_broadcast(self):
+        conv = Conv2D(1, 2, 1, seed=0)
+        conv.weight[...] = 0.0
+        conv.bias[...] = np.array([1.0, -2.0])
+        out = conv.forward(np.zeros((1, 1, 3, 3)))
+        np.testing.assert_allclose(out[0, 0], 1.0)
+        np.testing.assert_allclose(out[0, 1], -2.0)
+
+    def test_backward_shapes(self):
+        conv = Conv2D(2, 4, 3, padding=1, seed=0)
+        x = np.random.default_rng(1).standard_normal((2, 2, 6, 6))
+        out = conv.forward(x)
+        gin = conv.backward(np.ones_like(out))
+        assert gin.shape == x.shape
+        assert conv.grad_weight.shape == conv.weight.shape
+        assert conv.grad_bias.shape == (4,)
+
+    def test_wrong_channels_raises(self):
+        conv = Conv2D(3, 4, 3, seed=0)
+        with pytest.raises(DimensionMismatchError):
+            conv.forward(np.zeros((1, 2, 8, 8)))
+
+    def test_backward_before_forward_raises(self):
+        conv = Conv2D(1, 1, 2, seed=0)
+        with pytest.raises(RuntimeError):
+            conv.backward(np.zeros((1, 1, 1, 1)))
+
+    def test_stride(self):
+        conv = Conv2D(1, 1, 2, stride=2, seed=0)
+        out = conv.forward(np.zeros((1, 1, 8, 8)))
+        assert out.shape == (1, 1, 4, 4)
+
+
+class TestMaxPool2D:
+    def test_forward_values(self):
+        pool = MaxPool2D(2)
+        x = np.array([[[[1.0, 2.0, 5.0, 0.0],
+                        [3.0, 4.0, 1.0, 1.0],
+                        [0.0, 0.0, 2.0, 2.0],
+                        [9.0, 0.0, 2.0, 3.0]]]])
+        out = pool.forward(x)
+        np.testing.assert_allclose(out, [[[[4.0, 5.0], [9.0, 3.0]]]])
+
+    def test_backward_routes_to_argmax(self):
+        pool = MaxPool2D(2)
+        x = np.array([[[[1.0, 2.0], [3.0, 4.0]]]])
+        pool.forward(x)
+        gin = pool.backward(np.array([[[[7.0]]]]))
+        np.testing.assert_allclose(gin, [[[[0.0, 0.0], [0.0, 7.0]]]])
+
+    def test_ties_go_to_first(self):
+        pool = MaxPool2D(2)
+        x = np.zeros((1, 1, 2, 2))
+        pool.forward(x)
+        gin = pool.backward(np.array([[[[1.0]]]]))
+        assert gin[0, 0, 0, 0] == 1.0
+        assert gin.sum() == 1.0
+
+    def test_overlapping_stride_accumulates(self):
+        pool = MaxPool2D(2, stride=1)
+        x = np.array([[[[0.0, 0.0, 0.0],
+                        [0.0, 9.0, 0.0],
+                        [0.0, 0.0, 0.0]]]])
+        out = pool.forward(x)
+        np.testing.assert_allclose(out, 9.0)
+        gin = pool.backward(np.ones((1, 1, 2, 2)))
+        assert gin[0, 0, 1, 1] == 4.0  # all four windows argmax at center
+
+    def test_no_parameters(self):
+        assert MaxPool2D(2).parameters() == []
+
+    def test_invalid_config(self):
+        with pytest.raises(ConfigurationError):
+            MaxPool2D(0)
+        with pytest.raises(ConfigurationError):
+            MaxPool2D(2, stride=0)
+
+
+class TestActivations:
+    def test_relu_forward(self):
+        out = ReLU().forward(np.array([[-1.0, 0.0, 2.0]]))
+        np.testing.assert_allclose(out, [[0.0, 0.0, 2.0]])
+
+    def test_relu_backward_mask(self):
+        relu = ReLU()
+        relu.forward(np.array([[-1.0, 3.0]]))
+        gin = relu.backward(np.array([[5.0, 5.0]]))
+        np.testing.assert_allclose(gin, [[0.0, 5.0]])
+
+    def test_sigmoid_range_and_symmetry(self):
+        s = Sigmoid()
+        out = s.forward(np.array([[-100.0, 0.0, 100.0]]))
+        assert 0.0 <= out.min() and out.max() <= 1.0
+        assert out[0, 1] == pytest.approx(0.5)
+
+    def test_sigmoid_extreme_stability(self):
+        out = Sigmoid().forward(np.array([[-1000.0, 1000.0]]))
+        assert np.all(np.isfinite(out))
+
+    def test_tanh_backward(self):
+        t = Tanh()
+        t.forward(np.array([[0.0]]))
+        gin = t.backward(np.array([[2.0]]))
+        assert gin[0, 0] == pytest.approx(2.0)  # tanh'(0) = 1
+
+    @pytest.mark.parametrize("layer_cls", [ReLU, Sigmoid, Tanh])
+    def test_backward_before_forward_raises(self, layer_cls):
+        with pytest.raises(RuntimeError):
+            layer_cls().backward(np.zeros((1, 1)))
+
+    @pytest.mark.parametrize("layer_cls", [ReLU, Sigmoid, Tanh])
+    def test_stateless_params(self, layer_cls):
+        assert layer_cls().parameters() == []
+
+
+class TestFlatten:
+    def test_roundtrip(self):
+        f = Flatten()
+        x = np.arange(24, dtype=np.float64).reshape(2, 3, 2, 2)
+        out = f.forward(x)
+        assert out.shape == (2, 12)
+        back = f.backward(out)
+        np.testing.assert_allclose(back, x)
+
+    def test_backward_before_forward_raises(self):
+        with pytest.raises(RuntimeError):
+            Flatten().backward(np.zeros((1, 4)))

@@ -1,0 +1,123 @@
+"""Tests for repro.nn.losses."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DimensionMismatchError
+from repro.nn.losses import (
+    MeanSquaredError,
+    MulticlassHinge,
+    SoftmaxCrossEntropy,
+    log_softmax,
+    softmax,
+)
+
+
+class TestSoftmaxStability:
+    def test_softmax_rows_sum_to_one(self):
+        rng = np.random.default_rng(0)
+        p = softmax(rng.standard_normal((5, 4)) * 10)
+        np.testing.assert_allclose(p.sum(axis=1), 1.0)
+
+    def test_softmax_huge_logits_finite(self):
+        p = softmax(np.array([[1e4, 0.0, -1e4]]))
+        assert np.all(np.isfinite(p))
+        assert p[0, 0] == pytest.approx(1.0)
+
+    def test_log_softmax_matches_log_of_softmax(self):
+        rng = np.random.default_rng(1)
+        s = rng.standard_normal((6, 3))
+        np.testing.assert_allclose(log_softmax(s), np.log(softmax(s)), atol=1e-12)
+
+
+class TestSoftmaxCrossEntropy:
+    def test_uniform_scores_give_log_k(self):
+        loss = SoftmaxCrossEntropy().value(np.zeros((4, 5)), np.zeros(4, dtype=int))
+        assert loss == pytest.approx(np.log(5))
+
+    def test_perfect_prediction_near_zero(self):
+        scores = np.array([[100.0, 0.0], [0.0, 100.0]])
+        loss = SoftmaxCrossEntropy().value(scores, np.array([0, 1]))
+        assert loss == pytest.approx(0.0, abs=1e-10)
+
+    def test_grad_matches_finite_difference(self, fd_gradient):
+        rng = np.random.default_rng(2)
+        scores = rng.standard_normal((3, 4))
+        y = rng.integers(0, 4, 3)
+        head = SoftmaxCrossEntropy()
+        _, grad = head.value_and_grad(scores, y)
+        fd = fd_gradient(
+            lambda s: head.value(s.reshape(3, 4), y), scores.ravel()
+        ).reshape(3, 4)
+        np.testing.assert_allclose(grad, fd, atol=1e-7)
+
+    def test_grad_rows_sum_to_zero(self):
+        rng = np.random.default_rng(3)
+        scores = rng.standard_normal((5, 3))
+        y = rng.integers(0, 3, 5)
+        _, grad = SoftmaxCrossEntropy().value_and_grad(scores, y)
+        np.testing.assert_allclose(grad.sum(axis=1), 0.0, atol=1e-12)
+
+    def test_label_batch_mismatch_raises(self):
+        with pytest.raises(DimensionMismatchError):
+            SoftmaxCrossEntropy().value(np.zeros((3, 2)), np.zeros(4, dtype=int))
+
+
+class TestMeanSquaredError:
+    def test_zero_residual(self):
+        y = np.array([1.0, 2.0])
+        assert MeanSquaredError().value(y.reshape(2, 1), y) == 0.0
+
+    def test_value_formula(self):
+        scores = np.array([[1.0], [0.0]])
+        y = np.array([0.0, 0.0])
+        assert MeanSquaredError().value(scores, y) == pytest.approx(0.25)
+
+    def test_grad_matches_finite_difference(self, fd_gradient):
+        rng = np.random.default_rng(4)
+        scores = rng.standard_normal((4, 2))
+        y = rng.standard_normal((4, 2))
+        head = MeanSquaredError()
+        _, grad = head.value_and_grad(scores, y)
+        fd = fd_gradient(
+            lambda s: head.value(s.reshape(4, 2), y), scores.ravel()
+        ).reshape(4, 2)
+        np.testing.assert_allclose(grad, fd, atol=1e-7)
+
+
+class TestMulticlassHinge:
+    def test_zero_loss_with_big_margin(self):
+        scores = np.array([[10.0, 0.0], [0.0, 10.0]])
+        assert MulticlassHinge().value(scores, np.array([0, 1])) == 0.0
+
+    def test_violated_margin(self):
+        scores = np.array([[0.0, 0.5]])
+        # margin = 1 + 0.5 - 0 = 1.5
+        assert MulticlassHinge().value(scores, np.array([0])) == pytest.approx(1.5)
+
+    def test_binary_matches_paper_formula(self):
+        # Symmetric two-class scores (s, -s) reduce to max(0, 1 - 2s) for
+        # the positive class; check consistency of the reduction.
+        s = 0.2
+        scores = np.array([[s, -s]])
+        loss = MulticlassHinge().value(scores, np.array([0]))
+        assert loss == pytest.approx(max(0.0, 1.0 - 2 * s))
+
+    def test_grad_matches_finite_difference_away_from_kink(self, fd_gradient):
+        rng = np.random.default_rng(5)
+        scores = rng.standard_normal((6, 3)) * 3.0
+        y = rng.integers(0, 3, 6)
+        head = MulticlassHinge()
+        # keep away from the non-differentiable margin == 0 manifold
+        margins, _ = head._margins(scores, y)
+        if np.any(np.abs(margins) < 1e-3):
+            scores = scores + 0.01
+        _, grad = head.value_and_grad(scores, y)
+        fd = fd_gradient(
+            lambda s: head.value(s.reshape(6, 3), y), scores.ravel(), eps=1e-7
+        ).reshape(6, 3)
+        np.testing.assert_allclose(grad, fd, atol=1e-5)
+
+    def test_needs_two_classes(self):
+        with pytest.raises(DimensionMismatchError):
+            MulticlassHinge().value(np.zeros((2, 1)), np.zeros(2, dtype=int))

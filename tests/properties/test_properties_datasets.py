@@ -1,0 +1,81 @@
+"""Property-based tests for the dataset partitioning invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets.partition import (
+    assign_device_labels,
+    pathological_partition,
+    power_law_sizes,
+)
+from repro.datasets.splits import train_test_split_device
+
+
+class TestPartitionProperties:
+    @given(
+        st.integers(min_value=1, max_value=20),
+        st.integers(min_value=2, max_value=10),
+        st.integers(0, 2**31 - 1),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_label_assignment_covers_and_bounds(self, devices, classes, seed):
+        per_device = min(2, classes)
+        sets = assign_device_labels(devices, classes, per_device, seed=seed)
+        assert len(sets) == devices
+        for s in sets:
+            assert len(s) == per_device
+            assert 0 <= s.min() and s.max() < classes
+        if devices * per_device >= classes:
+            covered = set(np.concatenate(sets).tolist())
+            assert covered == set(range(classes))
+
+    @given(
+        st.integers(min_value=1, max_value=10),
+        st.lists(st.integers(min_value=1, max_value=60), min_size=1, max_size=10),
+        st.integers(0, 2**31 - 1),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_partition_sizes_always_honored(self, classes_minus1, sizes, seed):
+        num_classes = classes_minus1 + 1
+        y = np.repeat(np.arange(num_classes), 30)
+        parts = pathological_partition(
+            y,
+            len(sizes),
+            labels_per_device=min(2, num_classes),
+            sizes=sizes,
+            seed=seed,
+        )
+        assert [len(p) for p in parts] == list(sizes)
+        for p in parts:
+            assert np.all(p >= 0) and np.all(p < y.size)
+
+    @given(st.integers(1, 100), st.integers(0, 2**31 - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_power_law_sizes_positive(self, n, seed):
+        sizes = power_law_sizes(n, min_size=5, seed=seed)
+        assert sizes.shape == (n,)
+        assert np.all(sizes >= 5)
+
+
+class TestSplitProperties:
+    @given(
+        st.integers(min_value=1, max_value=200),
+        st.floats(min_value=0.05, max_value=0.95),
+        st.integers(0, 2**31 - 1),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_split_partitions_exactly(self, n, fraction, seed):
+        X = np.arange(n, dtype=np.float64).reshape(n, 1)
+        y = np.arange(n)
+        X_tr, y_tr, X_te, y_te = train_test_split_device(
+            X, y, train_fraction=fraction, seed=seed
+        )
+        # no sample lost or duplicated
+        assert len(X_tr) + len(X_te) == n
+        combined = np.sort(np.concatenate([y_tr, y_te]))
+        np.testing.assert_array_equal(combined, np.arange(n))
+        # at least one training sample
+        assert len(X_tr) >= 1
+        # features stay aligned with labels
+        np.testing.assert_array_equal(X_tr[:, 0], y_tr)

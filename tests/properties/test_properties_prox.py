@@ -1,0 +1,106 @@
+"""Property-based tests for proximal operators (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.proximal import L1Prox, QuadraticProx
+
+finite_floats = st.floats(
+    min_value=-1e4, max_value=1e4, allow_nan=False, allow_infinity=False
+)
+
+
+def vec(n=4):
+    return arrays(np.float64, (n,), elements=finite_floats)
+
+
+@st.composite
+def prox_inputs(draw):
+    anchor = draw(vec())
+    x = draw(vec())
+    z = draw(vec())
+    mu = draw(st.floats(min_value=0.0, max_value=100.0))
+    eta = draw(st.floats(min_value=1e-4, max_value=10.0))
+    return anchor, x, z, mu, eta
+
+
+class TestQuadraticProxProperties:
+    @given(prox_inputs())
+    @settings(max_examples=150, deadline=None)
+    def test_firm_nonexpansiveness(self, data):
+        """||prox(x) - prox(z)|| <= ||x - z||, the defining property of
+        any prox of a convex function."""
+        anchor, x, z, mu, eta = data
+        prox = QuadraticProx(mu, anchor)
+        lhs = np.linalg.norm(prox(x, eta) - prox(z, eta))
+        rhs = np.linalg.norm(x - z)
+        assert lhs <= rhs * (1 + 1e-10) + 1e-12
+
+    @given(prox_inputs())
+    @settings(max_examples=150, deadline=None)
+    def test_optimality_condition(self, data):
+        """mu (w - anchor) + (w - x)/eta = 0 at w = prox(x)."""
+        anchor, x, _, mu, eta = data
+        prox = QuadraticProx(mu, anchor)
+        w = prox(x, eta)
+        residual = mu * (w - anchor) + (w - x) / eta
+        scale = max(1.0, np.linalg.norm(x), np.linalg.norm(anchor) * mu)
+        assert np.linalg.norm(residual) <= 1e-8 * scale
+
+    @given(prox_inputs())
+    @settings(max_examples=100, deadline=None)
+    def test_output_between_input_and_anchor(self, data):
+        """The quadratic prox is a convex combination of x and anchor,
+        so each coordinate lies in the interval they span."""
+        anchor, x, _, mu, eta = data
+        w = QuadraticProx(mu, anchor)(x, eta)
+        lo = np.minimum(x, anchor) - 1e-9
+        hi = np.maximum(x, anchor) + 1e-9
+        assert np.all(w >= lo) and np.all(w <= hi)
+
+    @given(prox_inputs())
+    @settings(max_examples=100, deadline=None)
+    def test_prox_decreases_objective(self, data):
+        """h(prox(x)) + ||prox(x)-x||^2/(2 eta) <= h(x)  (x is feasible)."""
+        anchor, x, _, mu, eta = data
+        prox = QuadraticProx(mu, anchor)
+        w = prox(x, eta)
+        lhs = prox.value(w) + np.dot(w - x, w - x) / (2 * eta)
+        assert lhs <= prox.value(x) + 1e-8 * max(1.0, abs(prox.value(x)))
+
+
+class TestL1ProxProperties:
+    @given(vec(), st.floats(min_value=0.0, max_value=10.0),
+           st.floats(min_value=1e-3, max_value=5.0))
+    @settings(max_examples=150, deadline=None)
+    def test_shrinks_magnitudes(self, x, lam, eta):
+        w = L1Prox(lam)(x, eta)
+        assert np.all(np.abs(w) <= np.abs(x) + 1e-12)
+
+    @given(vec(), st.floats(min_value=0.0, max_value=10.0),
+           st.floats(min_value=1e-3, max_value=5.0))
+    @settings(max_examples=150, deadline=None)
+    def test_preserves_signs(self, x, lam, eta):
+        w = L1Prox(lam)(x, eta)
+        nonzero = w != 0
+        assert np.all(np.sign(w[nonzero]) == np.sign(x[nonzero]))
+
+    @given(vec(), st.floats(min_value=0.1, max_value=10.0),
+           st.floats(min_value=0.1, max_value=5.0))
+    @settings(max_examples=150, deadline=None)
+    def test_thresholds_small_coordinates_to_zero(self, x, lam, eta):
+        w = L1Prox(lam)(x, eta)
+        small = np.abs(x) <= lam * eta
+        assert np.all(w[small] == 0.0)
+
+    @given(vec(), st.floats(min_value=0.0, max_value=10.0),
+           st.floats(min_value=1e-3, max_value=5.0))
+    @settings(max_examples=100, deadline=None)
+    def test_nonexpansive(self, x, lam, eta):
+        prox = L1Prox(lam)
+        z = -x
+        assert np.linalg.norm(prox(x, eta) - prox(z, eta)) <= np.linalg.norm(
+            x - z
+        ) + 1e-12

@@ -1,0 +1,107 @@
+"""Property-based tests for the theory module's structural claims."""
+
+import math
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core import theory
+from repro.core.theory import ProblemConstants
+from repro.exceptions import InfeasibleParametersError
+
+betas = st.floats(min_value=3.1, max_value=1e3)
+thetas = st.floats(min_value=0.01, max_value=0.99)
+mus = st.floats(min_value=0.6, max_value=1e3)
+sigmas = st.floats(min_value=0.0, max_value=10.0)
+
+CONST = ProblemConstants(L=1.0, lam=0.5, sigma_bar_sq=0.0)
+
+
+class TestLemma1Monotonicity:
+    @given(betas, thetas, mus)
+    @settings(max_examples=200, deadline=None)
+    def test_lower_bound_positive(self, beta, theta, mu):
+        assume(mu > CONST.lam + 1e-6)
+        lo = theory.tau_lower_bound(beta, theta, mu, CONST)
+        assert lo > 0
+
+    @given(betas, mus, st.floats(min_value=0.05, max_value=0.5))
+    @settings(max_examples=200, deadline=None)
+    def test_lower_bound_monotone_in_theta(self, beta, mu, theta):
+        assume(mu > CONST.lam + 1e-6)
+        lo_tight = theory.tau_lower_bound(beta, theta, mu, CONST)
+        lo_loose = theory.tau_lower_bound(beta, min(0.99, theta * 1.5), mu, CONST)
+        assert lo_tight >= lo_loose
+
+    @given(betas)
+    @settings(max_examples=200, deadline=None)
+    def test_sarah_upper_bound_increasing_in_beta(self, beta):
+        assert theory.tau_upper_bound_sarah(beta * 1.1) > theory.tau_upper_bound_sarah(
+            beta
+        )
+
+    @given(st.floats(min_value=0.0, max_value=1e4))
+    @settings(max_examples=200, deadline=None)
+    def test_svrg_a_condition_holds_at_min(self, tau):
+        a = theory.svrg_min_a(tau)
+        assert a - 4 >= 4 * math.sqrt(a * (tau + 1)) - 1e-6 * a
+
+    @given(betas)
+    @settings(max_examples=100, deadline=None)
+    def test_svrg_never_exceeds_sarah(self, beta):
+        assert theory.tau_upper_bound_svrg(beta) <= theory.tau_upper_bound_sarah(beta)
+
+
+class TestTheorem1Structure:
+    @given(thetas, mus, sigmas)
+    @settings(max_examples=200, deadline=None)
+    def test_factor_decreases_with_heterogeneity(self, theta, mu, sigma_sq):
+        assume(mu > CONST.lam + 1e-6)
+        base = theory.federated_factor(theta, mu, CONST)
+        worse = theory.federated_factor(
+            theta, mu, ProblemConstants(L=1.0, lam=0.5, sigma_bar_sq=sigma_sq + 0.5)
+        )
+        assert worse < base + 1e-12
+
+    @given(mus, sigmas, st.floats(min_value=0.01, max_value=0.3))
+    @settings(max_examples=200, deadline=None)
+    def test_factor_decreases_with_theta(self, mu, sigma_sq, theta):
+        c = ProblemConstants(L=1.0, lam=0.5, sigma_bar_sq=sigma_sq)
+        assume(mu > c.lam + 1e-6)
+        tight = theory.federated_factor(theta, mu, c)
+        loose = theory.federated_factor(min(0.99, theta * 2), mu, c)
+        assert loose <= tight + 1e-12
+
+    @given(thetas, mus)
+    @settings(max_examples=100, deadline=None)
+    def test_positive_factor_implies_theta_below_cap(self, theta, mu):
+        assume(mu > CONST.lam + 1e-6)
+        factor = theory.federated_factor(theta, mu, CONST)
+        if factor > 0:
+            assert theta < theory.theta_accuracy_cap(CONST.sigma_bar_sq)
+
+    @given(st.floats(min_value=0.01, max_value=10.0), thetas, mus,
+           st.floats(min_value=1e-4, max_value=1.0))
+    @settings(max_examples=200, deadline=None)
+    def test_corollary_T_monotone_in_delta(self, delta, theta, mu, eps):
+        assume(mu > CONST.lam + 1e-6)
+        try:
+            t1 = theory.global_iterations_required(delta, theta, mu, CONST, eps)
+        except InfeasibleParametersError:
+            assume(False)
+            return
+        t2 = theory.global_iterations_required(2 * delta, theta, mu, CONST, eps)
+        assert t2 >= t1
+
+
+class TestTrainingTimeStructure:
+    @given(st.floats(min_value=1, max_value=1e4),
+           st.floats(min_value=0, max_value=1e3),
+           st.floats(min_value=0, max_value=1e2),
+           st.floats(min_value=0, max_value=1e2))
+    @settings(max_examples=200, deadline=None)
+    def test_nonnegative_and_linear_in_T(self, T, tau, d_com, d_cmp):
+        t1 = theory.training_time(T, tau, d_com, d_cmp)
+        t2 = theory.training_time(2 * T, tau, d_com, d_cmp)
+        assert t1 >= 0
+        assert abs(t2 - 2 * t1) <= 1e-9 * max(1.0, t2)

@@ -1,0 +1,100 @@
+"""Property-based tests: parameter packing and loss heads."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.nn.losses import SoftmaxCrossEntropy, log_softmax, softmax
+from repro.utils.parameter_vector import ParameterSpec
+
+finite = st.floats(min_value=-1e3, max_value=1e3, allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def shape_lists(draw):
+    n = draw(st.integers(min_value=1, max_value=4))
+    shapes = []
+    for _ in range(n):
+        ndim = draw(st.integers(min_value=0, max_value=3))
+        shapes.append(
+            tuple(draw(st.integers(min_value=1, max_value=4)) for _ in range(ndim))
+        )
+    return shapes
+
+
+class TestParameterSpecProperties:
+    @given(shape_lists(), st.integers(0, 2**31 - 1))
+    @settings(max_examples=150, deadline=None)
+    def test_flatten_unflatten_roundtrip(self, shapes, seed):
+        spec = ParameterSpec(shapes)
+        rng = np.random.default_rng(seed)
+        arrays_in = [rng.standard_normal(s) for s in shapes]
+        out = spec.unflatten(spec.flatten(arrays_in))
+        for a, b in zip(arrays_in, out):
+            np.testing.assert_array_equal(a, b)
+
+    @given(shape_lists())
+    @settings(max_examples=100, deadline=None)
+    def test_size_is_sum_of_products(self, shapes):
+        spec = ParameterSpec(shapes)
+        assert spec.size == sum(int(np.prod(s)) for s in shapes)
+
+    @given(shape_lists(), st.integers(0, 2**31 - 1))
+    @settings(max_examples=100, deadline=None)
+    def test_pieces_tile_the_vector(self, shapes, seed):
+        spec = ParameterSpec(shapes)
+        rng = np.random.default_rng(seed)
+        vec = rng.standard_normal(spec.size)
+        reassembled = np.concatenate(
+            [spec.piece(vec, i).ravel() for i in range(len(shapes))]
+        ) if shapes else np.zeros(0)
+        np.testing.assert_array_equal(reassembled, vec)
+
+
+@st.composite
+def score_batches(draw):
+    n = draw(st.integers(min_value=1, max_value=8))
+    k = draw(st.integers(min_value=2, max_value=6))
+    scores = draw(arrays(np.float64, (n, k), elements=finite))
+    y = draw(
+        st.lists(st.integers(min_value=0, max_value=k - 1), min_size=n, max_size=n)
+    )
+    return scores, np.array(y)
+
+
+class TestSoftmaxProperties:
+    @given(score_batches())
+    @settings(max_examples=150, deadline=None)
+    def test_softmax_is_probability_simplex(self, data):
+        scores, _ = data
+        p = softmax(scores)
+        assert np.all(p >= 0)
+        np.testing.assert_allclose(p.sum(axis=1), 1.0, atol=1e-12)
+
+    @given(score_batches(), finite)
+    @settings(max_examples=150, deadline=None)
+    def test_softmax_shift_invariance(self, data, shift):
+        scores, _ = data
+        np.testing.assert_allclose(
+            softmax(scores), softmax(scores + shift), atol=1e-12
+        )
+
+    @given(score_batches())
+    @settings(max_examples=150, deadline=None)
+    def test_cross_entropy_nonnegative(self, data):
+        scores, y = data
+        assert SoftmaxCrossEntropy().value(scores, y) >= 0.0
+
+    @given(score_batches())
+    @settings(max_examples=150, deadline=None)
+    def test_cross_entropy_grad_rows_sum_zero(self, data):
+        scores, y = data
+        _, grad = SoftmaxCrossEntropy().value_and_grad(scores, y)
+        np.testing.assert_allclose(grad.sum(axis=1), 0.0, atol=1e-10)
+
+    @given(score_batches())
+    @settings(max_examples=100, deadline=None)
+    def test_log_softmax_nonpositive(self, data):
+        scores, _ = data
+        assert np.all(log_softmax(scores) <= 1e-12)

@@ -1,0 +1,122 @@
+"""Tests for repro.analysis (multi-seed replication)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    ReplicatedRun,
+    compare_replicated,
+    paired_seed_advantage,
+    run_replicated,
+    summarize,
+)
+from repro.exceptions import ConfigurationError
+from repro.fl.history import RoundRecord, TrainingHistory
+from repro.fl.runner import FederatedRunConfig
+
+
+def fake_history(losses, accs=None, rounds=None):
+    h = TrainingHistory(algorithm="x", dataset="toy")
+    rounds = rounds or list(range(1, len(losses) + 1))
+    accs = accs or [0.5] * len(losses)
+    for i, loss, acc in zip(rounds, losses, accs):
+        h.append(RoundRecord(i, loss, 1.0, acc, float(i), 0.1 * i))
+    return h
+
+
+class TestReplicatedRun:
+    def test_series_mean_std(self):
+        run = ReplicatedRun("x", [fake_history([2.0, 1.0]), fake_history([4.0, 3.0])])
+        s = run.series("train_loss")
+        np.testing.assert_allclose(s.mean, [3.0, 2.0])
+        np.testing.assert_allclose(s.std, [np.sqrt(2), np.sqrt(2)])
+        assert s.num_seeds == 2
+
+    def test_single_seed_zero_std(self):
+        run = ReplicatedRun("x", [fake_history([2.0, 1.0])])
+        s = run.series("train_loss")
+        np.testing.assert_array_equal(s.std, [0.0, 0.0])
+
+    def test_mismatched_rounds_rejected(self):
+        run = ReplicatedRun(
+            "x",
+            [fake_history([1.0, 2.0]), fake_history([1.0], rounds=[1])],
+        )
+        with pytest.raises(ConfigurationError):
+            run.series("train_loss")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ReplicatedRun("x", []).series("train_loss")
+
+    def test_last_and_format(self):
+        run = ReplicatedRun("x", [fake_history([2.0, 1.0])])
+        s = run.series("train_loss")
+        mean, std = s.last()
+        assert mean == 1.0 and std == 0.0
+        assert "train_loss" in s.format_row()
+
+    def test_final_values(self):
+        run = ReplicatedRun("x", [fake_history([2.0, 1.0]), fake_history([2.0, 1.5])])
+        np.testing.assert_allclose(run.final_values("train_loss"), [1.0, 1.5])
+
+
+class TestPairedAdvantage:
+    def test_positive_when_a_wins(self):
+        a = ReplicatedRun("a", [fake_history([1.0]), fake_history([1.1])])
+        b = ReplicatedRun("b", [fake_history([2.0]), fake_history([2.1])])
+        stats = paired_seed_advantage(a, b)
+        assert stats["mean_advantage"] == pytest.approx(1.0)
+        assert stats["win_fraction"] == 1.0
+        assert stats["num_seeds"] == 2
+
+    def test_accuracy_direction(self):
+        a = ReplicatedRun("a", [fake_history([1.0], accs=[0.9])])
+        b = ReplicatedRun("b", [fake_history([1.0], accs=[0.5])])
+        stats = paired_seed_advantage(
+            a, b, metric="test_accuracy", lower_is_better=False
+        )
+        assert stats["mean_advantage"] == pytest.approx(0.4)
+
+    def test_seed_count_mismatch_rejected(self):
+        a = ReplicatedRun("a", [fake_history([1.0])])
+        b = ReplicatedRun("b", [fake_history([1.0]), fake_history([2.0])])
+        with pytest.raises(ConfigurationError):
+            paired_seed_advantage(a, b)
+
+
+class TestEndToEnd:
+    def test_run_replicated(self, tiny_dataset, tiny_model_factory):
+        cfg = FederatedRunConfig(num_rounds=4, num_local_steps=3, eval_every=2)
+        run = run_replicated(
+            tiny_dataset, tiny_model_factory, cfg, seeds=[0, 1, 2]
+        )
+        assert len(run.histories) == 3
+        s = run.series("train_loss")
+        assert s.num_seeds == 3
+        assert np.all(np.isfinite(s.mean))
+        # different seeds actually produced different trajectories
+        assert s.std.max() > 0
+
+    def test_compare_and_summarize(self, tiny_dataset, tiny_model_factory):
+        configs = {
+            "fedavg": FederatedRunConfig(
+                algorithm="fedavg", num_rounds=3, num_local_steps=3, eval_every=3
+            ),
+            "vr": FederatedRunConfig(
+                algorithm="fedproxvr-svrg", num_rounds=3, num_local_steps=3,
+                mu=0.1, eval_every=3,
+            ),
+        }
+        runs = compare_replicated(
+            tiny_dataset, tiny_model_factory, configs, seeds=[0, 1]
+        )
+        text = summarize(runs)
+        assert "fedavg" in text and "vr" in text
+        assert "+-" in text
+
+    def test_empty_seeds_rejected(self, tiny_dataset, tiny_model_factory):
+        with pytest.raises(ConfigurationError):
+            run_replicated(
+                tiny_dataset, tiny_model_factory, FederatedRunConfig(), seeds=[]
+            )

@@ -1,0 +1,78 @@
+"""Tests for the exception hierarchy and the Module base class."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import (
+    ConfigurationError,
+    ConvergenceError,
+    DimensionMismatchError,
+    InfeasibleParametersError,
+    ReproError,
+)
+from repro.nn.module import Module
+
+
+class TestExceptionHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for exc in (
+            ConfigurationError,
+            ConvergenceError,
+            DimensionMismatchError,
+            InfeasibleParametersError,
+        ):
+            assert issubclass(exc, ReproError)
+
+    def test_value_error_compatibility(self):
+        """Callers catching ValueError still catch configuration issues."""
+        assert issubclass(ConfigurationError, ValueError)
+        assert issubclass(DimensionMismatchError, ValueError)
+        assert issubclass(InfeasibleParametersError, ValueError)
+
+    def test_runtime_error_compatibility(self):
+        assert issubclass(ConvergenceError, RuntimeError)
+
+    def test_catchable_as_repro_error(self):
+        with pytest.raises(ReproError):
+            raise InfeasibleParametersError("Theta <= 0")
+
+
+class TestModuleDefaults:
+    def test_abstract_methods_raise(self):
+        m = Module()
+        with pytest.raises(NotImplementedError):
+            m.forward(np.zeros((1, 1)))
+        with pytest.raises(NotImplementedError):
+            m.backward(np.zeros((1, 1)))
+
+    def test_default_parameters_empty(self):
+        assert Module().parameters() == []
+        assert Module().gradients() == []
+        assert Module().num_parameters == 0
+
+    def test_zero_gradients_noop_when_stateless(self):
+        Module().zero_gradients()  # must not raise
+
+    def test_call_dispatches_to_forward(self):
+        class Doubler(Module):
+            def forward(self, x, *, train=True):
+                return 2 * np.asarray(x)
+
+        np.testing.assert_array_equal(Doubler()(np.ones(3)), 2 * np.ones(3))
+
+    def test_zero_gradients_clears_buffers(self):
+        class WithParam(Module):
+            def __init__(self):
+                self.p = np.ones(3)
+                self.g = np.ones(3)
+
+            def parameters(self):
+                return [self.p]
+
+            def gradients(self):
+                return [self.g]
+
+        layer = WithParam()
+        layer.zero_gradients()
+        assert not layer.g.any()
+        assert layer.p.all()  # parameters untouched

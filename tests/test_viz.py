@@ -1,0 +1,77 @@
+"""Tests for repro.viz."""
+
+import numpy as np
+
+from repro.fl.history import RoundRecord, TrainingHistory
+from repro.viz import ascii_chart, history_sparklines, sparkline
+
+
+def make_history(name, losses):
+    h = TrainingHistory(algorithm=name, dataset="toy")
+    for i, loss in enumerate(losses, start=1):
+        h.append(
+            RoundRecord(
+                round_index=i, train_loss=loss, grad_norm=1.0,
+                test_accuracy=0.5, sim_time=i, wall_time=i * 0.1,
+            )
+        )
+    return h
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_length_matches_input(self):
+        assert len(sparkline([1, 2, 3])) == 3
+
+    def test_monotone_series_uses_extremes(self):
+        s = sparkline([0.0, 1.0, 2.0, 3.0])
+        assert s[0] == "▁"
+        assert s[-1] == "█"
+
+    def test_constant_series(self):
+        assert sparkline([5.0, 5.0, 5.0]) == "▁▁▁"
+
+    def test_nan_marked(self):
+        s = sparkline([1.0, float("nan"), 2.0])
+        assert s[1] == "!"
+
+    def test_all_nan(self):
+        assert sparkline([float("nan")] * 3) == "!!!"
+
+    def test_downsampling(self):
+        s = sparkline(np.arange(100), width=10)
+        assert len(s) == 10
+        assert s[0] == "▁" and s[-1] == "█"
+
+
+class TestHistorySparklines:
+    def test_lists_all_runs(self):
+        h1 = make_history("fedavg", [3, 2, 1])
+        h2 = make_history("fedproxvr", [3, 1.5, 0.5])
+        text = history_sparklines([h1, h2])
+        assert "fedavg" in text and "fedproxvr" in text
+        assert "3 -> 1" in text
+
+    def test_empty_history(self):
+        text = history_sparklines([TrainingHistory("x", "toy")])
+        assert "no records" in text
+
+
+class TestAsciiChart:
+    def test_contains_bounds_and_legend(self):
+        h1 = make_history("fedavg", [3.0, 2.0, 1.0])
+        h2 = make_history("vr", [3.0, 1.0, 0.5])
+        chart = ascii_chart([h1, h2], height=6, width=20)
+        assert "3" in chart and "0.5" in chart
+        assert "*=fedavg" in chart and "o=vr" in chart
+
+    def test_no_data(self):
+        assert "no finite data" in ascii_chart([TrainingHistory("x", "toy")])
+
+    def test_dimensions(self):
+        h = make_history("a", list(np.linspace(5, 1, 30)))
+        chart = ascii_chart([h], height=8, width=30)
+        # 8 grid rows + 1 legend
+        assert len(chart.splitlines()) == 9

@@ -1,0 +1,93 @@
+"""Tests for repro.utils.rng."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import (
+    as_generator,
+    derive_generator,
+    spawn_generators,
+    spawn_seeds,
+)
+
+
+class TestAsGenerator:
+    def test_from_int_is_deterministic(self):
+        a = as_generator(42).standard_normal(5)
+        b = as_generator(42).standard_normal(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_from_none_gives_generator(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+    def test_generator_passthrough(self):
+        g = np.random.default_rng(0)
+        assert as_generator(g) is g
+
+    def test_from_seed_sequence(self):
+        ss = np.random.SeedSequence(7)
+        a = as_generator(ss)
+        assert isinstance(a, np.random.Generator)
+
+
+class TestSpawnSeeds:
+    def test_count(self):
+        assert len(spawn_seeds(0, 5)) == 5
+
+    def test_zero_is_allowed(self):
+        assert spawn_seeds(0, 0) == []
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_seeds(0, -1)
+
+    def test_children_independent_streams(self):
+        gens = spawn_generators(0, 3)
+        draws = [g.standard_normal(10) for g in gens]
+        assert not np.allclose(draws[0], draws[1])
+        assert not np.allclose(draws[1], draws[2])
+
+    def test_deterministic_across_calls(self):
+        a = [g.standard_normal(4) for g in spawn_generators(9, 3)]
+        b = [g.standard_normal(4) for g in spawn_generators(9, 3)]
+        for x, y in zip(a, b):
+            np.testing.assert_array_equal(x, y)
+
+    def test_spawn_from_generator_consumes_entropy(self):
+        g = np.random.default_rng(3)
+        first = spawn_seeds(g, 2)
+        second = spawn_seeds(g, 2)
+        a = np.random.default_rng(first[0]).standard_normal(4)
+        b = np.random.default_rng(second[0]).standard_normal(4)
+        assert not np.allclose(a, b)
+
+
+class TestDeriveGenerator:
+    def test_keyed_determinism(self):
+        a = derive_generator(0, 3, 7).standard_normal(6)
+        b = derive_generator(0, 3, 7).standard_normal(6)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_keys_differ(self):
+        a = derive_generator(0, 3, 7).standard_normal(6)
+        b = derive_generator(0, 3, 8).standard_normal(6)
+        c = derive_generator(0, 4, 7).standard_normal(6)
+        assert not np.allclose(a, b)
+        assert not np.allclose(a, c)
+
+    def test_order_independence(self):
+        # Deriving (1,2) after (5,6) equals deriving it first.
+        _ = derive_generator(0, 5, 6).standard_normal(2)
+        a = derive_generator(0, 1, 2).standard_normal(4)
+        b = derive_generator(0, 1, 2).standard_normal(4)
+        np.testing.assert_array_equal(a, b)
+
+    def test_live_generator_rejected(self):
+        with pytest.raises(TypeError):
+            derive_generator(np.random.default_rng(0), 1)
+
+    def test_seed_sequence_base(self):
+        ss = np.random.SeedSequence(11)
+        a = derive_generator(ss, 2).standard_normal(3)
+        b = derive_generator(11, 2).standard_normal(3)
+        np.testing.assert_array_equal(a, b)

@@ -1,0 +1,105 @@
+"""Tests for repro.utils.smoothness."""
+
+import numpy as np
+import pytest
+
+from repro.models import LinearRegressionModel, MultinomialLogisticModel
+from repro.utils.smoothness import (
+    estimate_lower_curvature,
+    estimate_smoothness_power_iteration,
+    least_squares_smoothness,
+    logistic_smoothness,
+    suggest_step_size,
+)
+
+
+class TestAnalyticSmoothness:
+    def test_least_squares_is_max_row_norm_sq(self):
+        X = np.array([[3.0, 4.0], [1.0, 0.0]])
+        assert least_squares_smoothness(X) == pytest.approx(25.0)
+
+    def test_least_squares_empty(self):
+        assert least_squares_smoothness(np.zeros((0, 3))) == 0.0
+
+    def test_logistic_binary_quarter(self):
+        X = np.array([[2.0, 0.0]])
+        assert logistic_smoothness(X, num_classes=2) == pytest.approx(1.0)
+
+    def test_logistic_multiclass_half(self):
+        X = np.array([[2.0, 0.0]])
+        assert logistic_smoothness(X, num_classes=5) == pytest.approx(2.0)
+
+
+class TestPowerIteration:
+    def test_quadratic_recovers_top_eigenvalue(self):
+        rng = np.random.default_rng(0)
+        A = rng.standard_normal((6, 6))
+        H = A @ A.T  # PSD with known spectrum
+        top = np.linalg.eigvalsh(H)[-1]
+
+        est = estimate_smoothness_power_iteration(
+            lambda w: H @ w, np.zeros(6), num_iterations=200, seed=1
+        )
+        assert est == pytest.approx(top, rel=1e-2)
+
+    def test_least_squares_model_matches_hessian(self):
+        rng = np.random.default_rng(1)
+        X = rng.standard_normal((40, 5))
+        y = rng.standard_normal(40)
+        model = LinearRegressionModel(5, fit_intercept=False)
+        H = X.T @ X / X.shape[0]
+        top = np.linalg.eigvalsh(H)[-1]
+        est = estimate_smoothness_power_iteration(
+            lambda w: model.gradient(w, X, y),
+            np.zeros(5),
+            num_iterations=100,
+            seed=2,
+        )
+        assert est == pytest.approx(top, rel=1e-2)
+
+    def test_zero_hessian_returns_zero(self):
+        est = estimate_smoothness_power_iteration(
+            lambda w: np.zeros_like(w), np.zeros(4), seed=0
+        )
+        assert est == pytest.approx(0.0, abs=1e-8)
+
+    def test_analytic_dominates_power_estimate_for_logistic(self):
+        # Analytic L is a worst-case bound; the local Hessian estimate
+        # must not exceed it (sanity linking both code paths).
+        rng = np.random.default_rng(3)
+        X = rng.standard_normal((30, 4))
+        y = rng.integers(0, 3, 30)
+        model = MultinomialLogisticModel(4, 3, fit_intercept=False)
+        w0 = model.init_parameters(0)
+        est = estimate_smoothness_power_iteration(
+            lambda w: model.gradient(w, X, y), w0, num_iterations=80, seed=4
+        )
+        assert est <= model.smoothness(X) + 1e-6
+
+
+class TestLowerCurvature:
+    def test_convex_model_has_near_zero(self):
+        rng = np.random.default_rng(5)
+        X = rng.standard_normal((30, 4))
+        y = rng.standard_normal(30)
+        model = LinearRegressionModel(4, fit_intercept=False)
+        lam = estimate_lower_curvature(
+            lambda w: model.gradient(w, X, y), np.zeros(4), seed=6
+        )
+        assert lam == pytest.approx(0.0, abs=1e-6)
+
+    def test_concave_direction_detected(self):
+        H = np.diag([1.0, -2.0, 3.0])
+        lam = estimate_lower_curvature(
+            lambda w: H @ w, np.zeros(3), num_probes=64, seed=7
+        )
+        assert 0.0 < lam <= 2.0 + 1e-6
+
+
+class TestStepSize:
+    def test_formula(self):
+        assert suggest_step_size(2.0, 5.0) == pytest.approx(0.1)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(Exception):
+            suggest_step_size(0.0, 5.0)

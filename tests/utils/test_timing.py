@@ -1,0 +1,83 @@
+"""Tests for repro.utils.timing."""
+
+import pytest
+
+from repro.utils.timing import SimulatedClock, WallClockTimer
+
+
+class TestSimulatedClock:
+    def test_round_takes_max_client_delay(self):
+        clock = SimulatedClock()
+        duration = clock.advance_round([1.0, 5.0, 2.0])
+        assert duration == 5.0
+        assert clock.elapsed == 5.0
+
+    def test_server_delay_added(self):
+        clock = SimulatedClock()
+        clock.advance_round([2.0], server_delay=0.5)
+        assert clock.elapsed == 2.5
+
+    def test_accumulates_rounds(self):
+        clock = SimulatedClock()
+        clock.advance_round([1.0])
+        clock.advance_round([3.0])
+        assert clock.elapsed == 4.0
+        assert clock.round_durations == [1.0, 3.0]
+
+    def test_empty_round_costs_zero(self):
+        clock = SimulatedClock()
+        assert clock.advance_round([]) == 0.0
+
+    def test_negative_delay_rejected(self):
+        clock = SimulatedClock()
+        with pytest.raises(ValueError):
+            clock.advance_round([-1.0])
+        with pytest.raises(ValueError):
+            clock.advance_round([1.0], server_delay=-0.1)
+
+    def test_reset(self):
+        clock = SimulatedClock()
+        clock.advance_round([2.0])
+        clock.reset()
+        assert clock.elapsed == 0.0
+        assert clock.round_durations == []
+
+
+class TestWallClockTimer:
+    def test_records_laps(self):
+        timer = WallClockTimer()
+        with timer.lap("a"):
+            pass
+        with timer.lap("b"):
+            pass
+        assert set(timer.laps) == {"a", "b"}
+        assert all(v >= 0.0 for v in timer.laps.values())
+
+    def test_laps_accumulate(self):
+        timer = WallClockTimer()
+        with timer.lap("x"):
+            pass
+        first = timer.laps["x"]
+        with timer.lap("x"):
+            pass
+        assert timer.laps["x"] >= first
+
+    def test_total_is_sum(self):
+        timer = WallClockTimer()
+        with timer.lap("a"):
+            pass
+        with timer.lap("b"):
+            pass
+        assert timer.total == pytest.approx(sum(timer.laps.values()))
+
+    def test_unlabeled_block(self):
+        timer = WallClockTimer()
+        with timer:
+            pass
+        assert "unlabeled" in timer.laps
+
+    def test_summary_mentions_labels(self):
+        timer = WallClockTimer()
+        with timer.lap("phase-one"):
+            pass
+        assert "phase-one" in timer.summary()

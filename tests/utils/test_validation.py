@@ -1,0 +1,114 @@
+"""Tests for repro.utils.validation."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, DimensionMismatchError
+from repro.utils.validation import (
+    check_array_2d,
+    check_choice,
+    check_in_range,
+    check_positive,
+    check_positive_int,
+    check_probability,
+    check_same_length,
+)
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        assert check_positive("x", 2.5) == 2.5
+
+    def test_rejects_zero_when_strict(self):
+        with pytest.raises(ConfigurationError):
+            check_positive("x", 0.0)
+
+    def test_accepts_zero_when_not_strict(self):
+        assert check_positive("x", 0.0, strict=False) == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            check_positive("x", -1.0, strict=False)
+
+    def test_rejects_nan_and_inf(self):
+        with pytest.raises(ConfigurationError):
+            check_positive("x", float("nan"))
+        with pytest.raises(ConfigurationError):
+            check_positive("x", float("inf"))
+
+    def test_message_names_argument(self):
+        with pytest.raises(ConfigurationError, match="learning_rate"):
+            check_positive("learning_rate", -3)
+
+
+class TestCheckProbability:
+    @pytest.mark.parametrize("v", [0.0, 0.5, 1.0])
+    def test_accepts_unit_interval(self, v):
+        assert check_probability("p", v) == v
+
+    @pytest.mark.parametrize("v", [-0.01, 1.01])
+    def test_rejects_outside(self, v):
+        with pytest.raises(ConfigurationError):
+            check_probability("p", v)
+
+
+class TestCheckInRange:
+    def test_inclusive_both(self):
+        assert check_in_range("x", 1.0, 1.0, 2.0) == 1.0
+        assert check_in_range("x", 2.0, 1.0, 2.0) == 2.0
+
+    def test_exclusive_neither(self):
+        with pytest.raises(ConfigurationError):
+            check_in_range("x", 1.0, 1.0, 2.0, inclusive="neither")
+
+    def test_left_only(self):
+        assert check_in_range("x", 1.0, 1.0, 2.0, inclusive="left") == 1.0
+        with pytest.raises(ConfigurationError):
+            check_in_range("x", 2.0, 1.0, 2.0, inclusive="left")
+
+    def test_right_only(self):
+        assert check_in_range("x", 2.0, 1.0, 2.0, inclusive="right") == 2.0
+        with pytest.raises(ConfigurationError):
+            check_in_range("x", 1.0, 1.0, 2.0, inclusive="right")
+
+
+class TestCheckPositiveInt:
+    def test_accepts_int(self):
+        assert check_positive_int("n", 3) == 3
+
+    def test_rejects_fractional(self):
+        with pytest.raises(ConfigurationError):
+            check_positive_int("n", 2.5)
+
+    def test_accepts_integral_float(self):
+        assert check_positive_int("n", 4.0) == 4
+
+    def test_minimum(self):
+        assert check_positive_int("n", 0, minimum=0) == 0
+        with pytest.raises(ConfigurationError):
+            check_positive_int("n", 0, minimum=1)
+
+
+class TestArrayChecks:
+    def test_check_array_2d_accepts(self):
+        out = check_array_2d("X", [[1, 2], [3, 4]])
+        assert out.shape == (2, 2)
+        assert out.dtype == np.float64
+
+    def test_check_array_2d_rejects_1d(self):
+        with pytest.raises(DimensionMismatchError):
+            check_array_2d("X", [1, 2, 3])
+
+    def test_check_same_length(self):
+        check_same_length("a", [1, 2], "b", [3, 4])
+        with pytest.raises(DimensionMismatchError):
+            check_same_length("a", [1], "b", [3, 4])
+
+
+class TestCheckChoice:
+    def test_accepts_member(self):
+        assert check_choice("mode", "fast", ["fast", "slow"]) == "fast"
+
+    def test_rejects_nonmember(self):
+        with pytest.raises(ConfigurationError, match="mode"):
+            check_choice("mode", "medium", ["fast", "slow"])
