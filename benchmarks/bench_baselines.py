@@ -9,7 +9,7 @@ GD converges but would be far slower in eq.-(19) time (see
 ``bench_gd_compute_cost``).
 """
 
-from repro.core.fsvrg import run_fsvrg
+from repro.fl.fsvrg import run_fsvrg
 from repro.datasets import make_synthetic
 from repro.fl.history import format_comparison
 from repro.fl.runner import FederatedRunConfig, run_federated

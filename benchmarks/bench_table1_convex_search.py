@@ -6,7 +6,7 @@ algorithms land close together, with FedProxVR variants matching or
 nudging past FedAvg (paper: 84.02 / 84.12 / 84.21 %).
 """
 
-from repro.core.tuning import SearchSpace, compare_algorithms, format_table
+from repro.fl.tuning import SearchSpace, compare_algorithms, format_table
 from repro.datasets import make_fashion
 from repro.fl.runner import FederatedRunConfig
 from repro.models import MultinomialLogisticModel

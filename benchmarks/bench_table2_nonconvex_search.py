@@ -5,7 +5,7 @@ grid.  Expected shape (paper: 93.52 / 94.06 / 93.75 %): FedProxVR's best
 configuration matches or beats FedAvg's.
 """
 
-from repro.core.tuning import SearchSpace, compare_algorithms, format_table
+from repro.fl.tuning import SearchSpace, compare_algorithms, format_table
 from repro.datasets import make_digits
 from repro.fl.runner import FederatedRunConfig
 from repro.models import make_paper_cnn_model

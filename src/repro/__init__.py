@@ -26,7 +26,6 @@ Theory (Lemma 1 / Theorem 1 / §4.3)::
 from repro import analysis, viz
 from repro.core import certificates, param_opt, theory
 from repro.core.algorithms import ALGORITHMS, make_local_solver
-from repro.core.fsvrg import run_fsvrg
 from repro.core.estimators import (
     SARAHEstimator,
     SGDEstimator,
@@ -55,6 +54,7 @@ from repro.fl import (
     FederatedServer,
     TrainingHistory,
     run_federated,
+    run_fsvrg,
 )
 from repro.models import (
     LinearRegressionModel,

@@ -6,6 +6,8 @@ Commands
 ``compare`` — train several algorithms under identical settings.
 ``theory``  — evaluate Lemma 1 bounds and Theorem 1's factor at given knobs.
 ``optimize``— solve the §4.3 problem for one or more gamma values (Fig. 1).
+``lint``    — run the reprolint static-analysis suite (requires the repo
+checkout: the ``tools`` package is not shipped with the installed wheel).
 
 The CLI is a thin veneer over the public API, so every option maps 1:1
 onto :class:`repro.fl.runner.FederatedRunConfig` / the theory functions.
@@ -179,6 +181,25 @@ def cmd_optimize(args) -> int:
     return 0
 
 
+def cmd_lint(args) -> int:
+    """Run reprolint over the given paths (default: the src tree)."""
+    try:
+        from tools.reprolint.cli import main as reprolint_main
+    except ImportError:
+        print(
+            "error: the 'tools' package is not importable; run 'repro lint' "
+            "from the repository root (or use 'python -m tools.reprolint')",
+            file=sys.stderr,
+        )
+        return 2
+    argv = list(args.paths) + ["--format", args.format]
+    if args.update_baseline:
+        argv.append("--update-baseline")
+    if args.list_rules:
+        argv.append("--list-rules")
+    return reprolint_main(argv)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -221,6 +242,18 @@ def build_parser() -> argparse.ArgumentParser:
     p_opt.add_argument("--gamma-max", type=float, default=1.0)
     p_opt.add_argument("--points", type=int, default=7)
     p_opt.set_defaults(func=cmd_optimize)
+
+    p_lint = sub.add_parser(
+        "lint", help="run the reprolint static-analysis suite (repo checkout only)"
+    )
+    p_lint.add_argument("paths", nargs="*", default=["src"],
+                        help="files or directories to lint (default: src)")
+    p_lint.add_argument("--format", choices=("text", "json"), default="text")
+    p_lint.add_argument("--update-baseline", action="store_true",
+                        help="accept current findings into the baseline")
+    p_lint.add_argument("--list-rules", action="store_true",
+                        help="print every rule and exit")
+    p_lint.set_defaults(func=cmd_lint)
     return parser
 
 

@@ -8,7 +8,10 @@
   FedAvg / FedProx / GD baselines).
 * :mod:`repro.core.theory` — Lemma 1, Theorem 1, Corollary 1.
 * :mod:`repro.core.param_opt` — §4.3 training-time minimization (Fig. 1).
-* :mod:`repro.core.tuning` — random hyperparameter search (Tables 1-2).
+
+The federated drivers that *use* these pieces (the FSVRG baseline
+runner and the Tables 1-2 hyperparameter search) live one layer up in
+:mod:`repro.fl` — core never imports from the orchestration layer.
 """
 
 from repro.core.estimators import (

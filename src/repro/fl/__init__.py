@@ -6,6 +6,10 @@ runs every :class:`repro.fl.client.Client`'s local solver (sequentially
 or on a thread pool), the weighted average (line 12) closes the round,
 and :mod:`repro.fl.metrics` / :mod:`repro.fl.delays` record convergence
 and simulated training time.
+
+Two drivers sit on top of the engine: :mod:`repro.fl.fsvrg` (the
+two-phase FSVRG baseline, reference [12]) and :mod:`repro.fl.tuning`
+(the Tables 1-2 random hyperparameter search).
 """
 
 from repro.fl.aggregation import (
@@ -20,6 +24,14 @@ from repro.fl.history import RoundRecord, TrainingHistory
 from repro.fl.metrics import global_loss, global_accuracy, global_gradient_norm
 from repro.fl.server import FederatedServer
 from repro.fl.runner import FederatedRunConfig, run_federated
+from repro.fl.fsvrg import run_fsvrg
+from repro.fl.tuning import (
+    SearchReport,
+    SearchSpace,
+    compare_algorithms,
+    format_table,
+    random_search,
+)
 
 __all__ = [
     "Client",
@@ -27,16 +39,22 @@ __all__ = [
     "FederatedRunConfig",
     "FederatedServer",
     "RoundRecord",
+    "SearchReport",
+    "SearchSpace",
     "SequentialExecutor",
     "ThreadPoolClientExecutor",
     "TrainingHistory",
+    "compare_algorithms",
     "coordinate_median",
+    "format_table",
     "global_accuracy",
     "global_gradient_norm",
     "global_loss",
     "make_heterogeneous_delays",
     "make_uniform_delays",
+    "random_search",
     "run_federated",
+    "run_fsvrg",
     "trimmed_mean",
     "weighted_average",
 ]

@@ -10,7 +10,7 @@ from repro.core.local import (
     FedProxVRLocalSolver,
     GDLocalSolver,
 )
-from repro.core.tuning import (
+from repro.fl.tuning import (
     SearchSpace,
     compare_algorithms,
     format_table,
@@ -148,7 +148,7 @@ class TestRandomSearch:
         assert report.trials[0].history is not None
 
     def test_empty_report_best_raises(self):
-        from repro.core.tuning import SearchReport
+        from repro.fl.tuning import SearchReport
 
         with pytest.raises(ConfigurationError):
             SearchReport(algorithm="x").best

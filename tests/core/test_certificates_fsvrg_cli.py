@@ -12,7 +12,7 @@ from repro.core.certificates import (
     measure_constants,
     predicted_global_iterations,
 )
-from repro.core.fsvrg import run_fsvrg
+from repro.fl.fsvrg import run_fsvrg
 from repro.core.theory import ProblemConstants
 from repro.cli import build_dataset, build_model_factory, main
 from repro.exceptions import ConfigurationError, InfeasibleParametersError

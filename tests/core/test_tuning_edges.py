@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core.tuning import SearchReport, TrialResult, format_table
+from repro.fl.tuning import SearchReport, TrialResult, format_table
 
 
 def trial(acc, loss=1.0, params=None):

@@ -5,7 +5,7 @@ import numpy as np
 import pytest
 
 from repro.cli import build_dataset, build_model_factory
-from repro.core.fsvrg import run_fsvrg
+from repro.fl.fsvrg import run_fsvrg
 from repro.datasets import make_synthetic
 from repro.datasets.io import load_federated_dataset, save_federated_dataset
 from repro.fl.runner import FederatedRunConfig, run_federated

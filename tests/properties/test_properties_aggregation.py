@@ -86,8 +86,11 @@ class TestRobustAggregationProperties:
     def test_trimmed_mean_between_min_and_max(self, vecs):
         out = trimmed_mean(vecs, 0.2)
         stacked = np.stack(vecs)
-        assert np.all(out >= stacked.min(axis=0) - 1e-12)
-        assert np.all(out <= stacked.max(axis=0) + 1e-12)
+        # Magnitude-relative slack: the mean of K values of size ~1e5
+        # carries eps-scale rounding far above any absolute 1e-12.
+        span = np.max(np.abs(stacked)) + 1.0
+        assert np.all(out >= stacked.min(axis=0) - 1e-9 * span)
+        assert np.all(out <= stacked.max(axis=0) + 1e-9 * span)
 
     @given(vector_stack(min_vectors=5, max_vectors=10), finite)
     @settings(max_examples=75, deadline=None)

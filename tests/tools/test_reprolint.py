@@ -1,0 +1,736 @@
+"""Tests for the reprolint static-analysis suite (tools/reprolint).
+
+Two halves:
+
+* fixture tests — tiny synthetic source trees violating each of the
+  five rule families, asserting rule IDs, file:line locations, JSON
+  output, inline suppressions, and the baseline ratchet;
+* the tier-1 **gate** (:class:`TestSrcGate`) — runs the real
+  configuration over the real ``src/`` tree and fails the suite on any
+  gating finding, so invariant violations break ``pytest``, not just CI.
+"""
+
+import json
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from tools.reprolint import LintConfig, Severity, lint_paths, load_config
+from tools.reprolint.baseline import (
+    load_baseline,
+    save_baseline,
+    split_by_baseline,
+)
+from tools.reprolint.cli import main as reprolint_main
+from tools.reprolint.config import _parse_minimal_toml
+from tools.reprolint.engine import module_name_for
+from tools.reprolint.registry import all_rules
+from tools.reprolint.suppressions import disabled_rules_on_line
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def make_tree(root: Path, files: dict) -> LintConfig:
+    """Write ``{relpath: source}`` under ``root`` and return a config."""
+    for rel, body in files.items():
+        path = root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(body), encoding="utf-8")
+    return LintConfig(root=root)
+
+
+def run_lint(root: Path, files: dict):
+    config = make_tree(root, files)
+    return lint_paths([root / "src"], config), config
+
+
+def rule_ids(report):
+    return [f.rule_id for f in report.findings]
+
+
+# ---------------------------------------------------------------------------
+# Framework basics
+# ---------------------------------------------------------------------------
+
+
+class TestFramework:
+    def test_registry_has_all_five_families(self):
+        families = {cls.family for cls in all_rules()}
+        assert families == {"layering", "rng", "dtype", "safety", "theory"}
+
+    def test_rule_ids_unique_and_documented(self):
+        rules = all_rules()
+        ids = [cls.rule_id for cls in rules]
+        assert len(ids) == len(set(ids))
+        for cls in rules:
+            assert cls.description, f"{cls.rule_id} lacks a description"
+
+    def test_module_name_derivation(self, tmp_path):
+        config = make_tree(tmp_path, {"src/repro/core/x.py": "pass\n"})
+        assert module_name_for(tmp_path / "src/repro/core/x.py", config) == (
+            "repro.core.x"
+        )
+        assert module_name_for(tmp_path / "src/repro/core/x.py", config) is not None
+        # __init__ maps to the package, non-src files map to None
+        (tmp_path / "src/repro/__init__.py").write_text("")
+        assert module_name_for(tmp_path / "src/repro/__init__.py", config) == "repro"
+        (tmp_path / "other.py").write_text("")
+        assert module_name_for(tmp_path / "other.py", config) is None
+
+    def test_syntax_error_reported_not_raised(self, tmp_path):
+        report, _ = run_lint(tmp_path, {"src/repro/bad.py": "def broken(:\n"})
+        assert rule_ids(report) == ["RL000"]
+        assert report.exit_code == 1
+
+
+# ---------------------------------------------------------------------------
+# RL1xx layering
+# ---------------------------------------------------------------------------
+
+
+class TestLayeringRules:
+    def test_upward_import_flagged_with_location(self, tmp_path):
+        report, _ = run_lint(
+            tmp_path,
+            {
+                "src/repro/core/bad.py": """\
+                '''Doc.'''
+                from repro.fl.server import FederatedServer
+                """
+            },
+        )
+        assert rule_ids(report) == ["RL100"]
+        f = report.findings[0]
+        assert f.path == "src/repro/core/bad.py"
+        assert f.line == 2
+        assert "repro.fl.server" in f.message
+        assert f.severity is Severity.ERROR
+
+    def test_downward_and_same_layer_imports_clean(self, tmp_path):
+        report, _ = run_lint(
+            tmp_path,
+            {
+                "src/repro/fl/ok.py": """\
+                from repro.core.proximal import QuadraticProx
+                from repro.utils.rng import as_generator
+                from repro.fl.history import TrainingHistory
+                import numpy as np
+                """
+            },
+        )
+        assert rule_ids(report) == []
+
+    def test_relative_upward_import_resolved(self, tmp_path):
+        report, _ = run_lint(
+            tmp_path,
+            {
+                "src/repro/core/local/bad.py": """\
+                from ...fl import server
+                """
+            },
+        )
+        assert rule_ids(report) == ["RL100"]
+
+    def test_unmapped_module_defaults_to_top_layer(self, tmp_path):
+        # Importing an unclassified repro submodule flags until it is
+        # added to the layer map (silence is opt-in).
+        report, _ = run_lint(
+            tmp_path,
+            {"src/repro/core/bad.py": "from repro.newthing import x\n"},
+        )
+        assert rule_ids(report) == ["RL100"]
+
+    def test_wildcard_import_flagged(self, tmp_path):
+        report, _ = run_lint(
+            tmp_path,
+            {"src/repro/fl/agg.py": "from repro.utils.rng import *\n"},
+        )
+        assert rule_ids(report) == ["RL101"]
+
+
+# ---------------------------------------------------------------------------
+# RL2xx RNG discipline
+# ---------------------------------------------------------------------------
+
+
+class TestRngRules:
+    def test_global_seed_flagged(self, tmp_path):
+        report, _ = run_lint(
+            tmp_path,
+            {
+                "src/repro/datasets/bad.py": """\
+                import numpy as np
+                np.random.seed(0)
+                """
+            },
+        )
+        assert rule_ids(report) == ["RL200"]
+        assert report.findings[0].line == 2
+
+    def test_randomstate_flagged(self, tmp_path):
+        report, _ = run_lint(
+            tmp_path,
+            {
+                "src/repro/datasets/bad.py": """\
+                import numpy as np
+                rng = np.random.RandomState(7)
+                """
+            },
+        )
+        assert rule_ids(report) == ["RL201"]
+
+    def test_module_level_draws_flagged(self, tmp_path):
+        report, _ = run_lint(
+            tmp_path,
+            {
+                "src/repro/datasets/bad.py": """\
+                import numpy as np
+                x = np.random.rand(3)
+                y = np.random.choice([1, 2])
+                """
+            },
+        )
+        assert rule_ids(report) == ["RL202", "RL202"]
+
+    def test_direct_from_import_draw_flagged(self, tmp_path):
+        report, _ = run_lint(
+            tmp_path,
+            {
+                "src/repro/datasets/bad.py": """\
+                from numpy.random import randint
+                n = randint(10)
+                """
+            },
+        )
+        assert rule_ids(report) == ["RL202"]
+
+    def test_generator_api_clean(self, tmp_path):
+        report, _ = run_lint(
+            tmp_path,
+            {
+                "src/repro/datasets/good.py": """\
+                import numpy as np
+                rng = np.random.default_rng(0)
+                ss = np.random.SeedSequence(1)
+                x = rng.normal(size=3)
+                """
+            },
+        )
+        assert rule_ids(report) == []
+
+    def test_files_outside_src_not_in_scope(self, tmp_path):
+        config = make_tree(
+            tmp_path, {"scripts/demo.py": "import numpy as np\nnp.random.seed(0)\n"}
+        )
+        report = lint_paths([tmp_path / "scripts"], config)
+        assert rule_ids(report) == []
+
+
+# ---------------------------------------------------------------------------
+# RL3xx dtype discipline
+# ---------------------------------------------------------------------------
+
+
+class TestDtypeRules:
+    def test_narrow_astype_flagged(self, tmp_path):
+        report, _ = run_lint(
+            tmp_path,
+            {
+                "src/repro/nn/bad.py": """\
+                import numpy as np
+                def f(x):
+                    return x.astype(np.float32)
+                """
+            },
+        )
+        assert rule_ids(report) == ["RL300"]
+        assert report.findings[0].line == 3
+
+    def test_narrow_astype_string_flagged(self, tmp_path):
+        report, _ = run_lint(
+            tmp_path,
+            {"src/repro/nn/bad.py": "def f(x):\n    return x.astype('float16')\n"},
+        )
+        assert rule_ids(report) == ["RL300"]
+
+    def test_narrow_creation_flagged(self, tmp_path):
+        report, _ = run_lint(
+            tmp_path,
+            {
+                "src/repro/nn/bad.py": """\
+                import numpy as np
+                w = np.zeros((3, 3), dtype=np.float32)
+                """
+            },
+        )
+        assert rule_ids(report) == ["RL301"]
+
+    def test_float64_clean_and_scope_respected(self, tmp_path):
+        report, _ = run_lint(
+            tmp_path,
+            {
+                "src/repro/nn/good.py": """\
+                import numpy as np
+                w = np.zeros((3, 3), dtype=np.float64)
+                idx = np.zeros(4, dtype=np.int64)
+                """,
+                # float32 outside the dtype-modules scope is not flagged
+                "src/repro/fl/elsewhere.py": """\
+                import numpy as np
+                buf = np.zeros(8, dtype=np.float32)
+                """,
+            },
+        )
+        assert rule_ids(report) == []
+
+
+# ---------------------------------------------------------------------------
+# RL4xx safety
+# ---------------------------------------------------------------------------
+
+
+class TestSafetyRules:
+    def test_bare_except_flagged(self, tmp_path):
+        report, _ = run_lint(
+            tmp_path,
+            {
+                "src/repro/fl/bad.py": """\
+                def f():
+                    try:
+                        return 1
+                    except:
+                        return 0
+                """
+            },
+        )
+        assert rule_ids(report) == ["RL400"]
+        assert report.findings[0].line == 4
+
+    def test_mutable_default_flagged(self, tmp_path):
+        report, _ = run_lint(
+            tmp_path,
+            {"src/repro/fl/bad.py": "def f(x, acc=[]):\n    return acc\n"},
+        )
+        assert rule_ids(report) == ["RL401"]
+
+    def test_unclamped_log_flagged_in_numeric_scope(self, tmp_path):
+        report, _ = run_lint(
+            tmp_path,
+            {
+                "src/repro/core/proximal.py": """\
+                import numpy as np
+                def f(p):
+                    return np.log(p)
+                """
+            },
+        )
+        assert rule_ids(report) == ["RL402"]
+        assert report.findings[0].severity is Severity.WARNING
+
+    def test_clamped_log_clean(self, tmp_path):
+        report, _ = run_lint(
+            tmp_path,
+            {
+                "src/repro/core/proximal.py": """\
+                import numpy as np
+                def f(p, eps=1e-12):
+                    a = np.log(np.maximum(p, 1e-12))
+                    b = np.log(p + 1e-12)
+                    c = np.log(np.clip(p, 1e-12, 1.0))
+                    return a + b + c
+                """
+            },
+        )
+        assert rule_ids(report) == []
+
+    def test_exp_and_division_are_advisory_only(self, tmp_path):
+        report, _ = run_lint(
+            tmp_path,
+            {
+                "src/repro/core/proximal.py": """\
+                import numpy as np
+                def f(x, n):
+                    return np.exp(x) / n
+                """
+            },
+        )
+        assert sorted(rule_ids(report)) == ["RL403", "RL404"]
+        assert all(f.severity is Severity.INFO for f in report.findings)
+        assert report.exit_code == 0  # info findings never gate
+
+    def test_log_out_of_scope_module_clean(self, tmp_path):
+        report, _ = run_lint(
+            tmp_path,
+            {"src/repro/fl/bad.py": "import numpy as np\ny = np.log(3.0)\n"},
+        )
+        assert rule_ids(report) == []
+
+
+# ---------------------------------------------------------------------------
+# RL5xx theory contracts
+# ---------------------------------------------------------------------------
+
+
+class TestTheoryRules:
+    def test_beta_at_most_three_flagged(self, tmp_path):
+        report, _ = run_lint(
+            tmp_path,
+            {
+                "src/repro/fl/bad.py": """\
+                def run(cfg_cls):
+                    return cfg_cls(beta=2.5, mu=0.1)
+                """
+            },
+        )
+        assert rule_ids(report) == ["RL500"]
+        assert "beta=2.5" in report.findings[0].message
+
+    def test_beta_grid_with_infeasible_entry_flagged(self, tmp_path):
+        report, _ = run_lint(
+            tmp_path,
+            {"src/repro/fl/bad.py": "space = SearchSpace(beta=(3.0, 5.0))\n"},
+        )
+        assert rule_ids(report) == ["RL500"]
+
+    def test_tau_above_sarah_bound_flagged(self, tmp_path):
+        # beta = 5: SARAH cap (13) is (5*25 - 20)/8 = 13.125 < 100.
+        report, _ = run_lint(
+            tmp_path,
+            {"src/repro/fl/bad.py": "cfg = Config(beta=5.0, num_local_steps=100)\n"},
+        )
+        assert rule_ids(report) == ["RL501"]
+        assert report.findings[0].extra["estimator"] == "sarah"
+
+    def test_tau_within_sarah_bound_clean(self, tmp_path):
+        report, _ = run_lint(
+            tmp_path,
+            {"src/repro/fl/good.py": "cfg = Config(beta=5.0, num_local_steps=10)\n"},
+        )
+        assert rule_ids(report) == []
+
+    def test_svrg_bound_is_tighter(self, tmp_path):
+        # beta = 10, tau = 20: fine for SARAH (cap 57.5) but the
+        # self-consistent SVRG cap (14)/(65) is 0 at beta = 10.
+        files = {
+            "src/repro/fl/svrg.py": (
+                "cfg = Config(algorithm='fedproxvr-svrg', beta=10.0, tau=20)\n"
+            ),
+            "src/repro/fl/sarah.py": (
+                "cfg = Config(algorithm='fedproxvr-sarah', beta=10.0, tau=20)\n"
+            ),
+        }
+        report, _ = run_lint(tmp_path, files)
+        assert rule_ids(report) == ["RL501"]
+        assert report.findings[0].path.endswith("svrg.py")
+        assert report.findings[0].extra["estimator"] == "svrg"
+
+    def test_fallback_bounds_match_repro_core_theory(self, monkeypatch):
+        # The linter prefers repro.core.theory when importable; its
+        # closed-form fallbacks (used when src/ is not on the path) must
+        # agree with that single source of truth.
+        theory = pytest.importorskip("repro.core.theory")
+        from tools.reprolint.rules import theory as theory_rules
+
+        monkeypatch.setattr(theory_rules, "_theory_module", lambda: None)
+        for beta in (4.0, 7.0, 10.0, 15.0, 20.0):
+            assert theory_rules._tau_upper_bound(beta, "sarah") == pytest.approx(
+                theory.tau_upper_bound_sarah(beta)
+            )
+            # The fallback clamps the self-consistent SVRG bound at 0
+            # (an integer iteration count); theory reports the raw,
+            # possibly negative, eq. (14) value when infeasible.
+            assert theory_rules._tau_upper_bound(beta, "svrg") == pytest.approx(
+                max(0.0, theory.tau_upper_bound_svrg(beta))
+            )
+
+
+# ---------------------------------------------------------------------------
+# Suppressions
+# ---------------------------------------------------------------------------
+
+
+class TestSuppressions:
+    def test_parse_disable_comment(self):
+        assert disabled_rules_on_line("x = 1  # reprolint: disable=RL200") == {"RL200"}
+        assert disabled_rules_on_line("x  # reprolint: disable=RL200, RL500") == {
+            "RL200",
+            "RL500",
+        }
+        assert disabled_rules_on_line("x  # reprolint: disable=all") == {"all"}
+        assert disabled_rules_on_line("x = 1  # a normal comment") == set()
+
+    def test_inline_suppression_silences_named_rule(self, tmp_path):
+        report, _ = run_lint(
+            tmp_path,
+            {
+                "src/repro/datasets/bad.py": """\
+                import numpy as np
+                np.random.seed(0)  # reprolint: disable=RL200
+                """
+            },
+        )
+        assert rule_ids(report) == []
+        assert report.suppressed_count == 1
+
+    def test_suppression_of_other_rule_does_not_silence(self, tmp_path):
+        report, _ = run_lint(
+            tmp_path,
+            {
+                "src/repro/datasets/bad.py": """\
+                import numpy as np
+                np.random.seed(0)  # reprolint: disable=RL999
+                """
+            },
+        )
+        assert rule_ids(report) == ["RL200"]
+
+
+# ---------------------------------------------------------------------------
+# Baseline ratchet
+# ---------------------------------------------------------------------------
+
+
+class TestBaseline:
+    FILES = {
+        "src/repro/datasets/legacy.py": """\
+        import numpy as np
+        np.random.seed(0)
+        """
+    }
+
+    def test_baselined_finding_does_not_gate(self, tmp_path):
+        config = make_tree(tmp_path, self.FILES)
+        baseline_path = tmp_path / "baseline.json"
+        first = lint_paths([tmp_path / "src"], config, baseline_path=baseline_path)
+        assert first.exit_code == 1
+        save_baseline(baseline_path, first.findings)
+
+        second = lint_paths([tmp_path / "src"], config, baseline_path=baseline_path)
+        assert second.findings == []
+        assert len(second.baselined) == 1
+        assert second.exit_code == 0
+
+    def test_new_identical_violation_still_fails(self, tmp_path):
+        config = make_tree(tmp_path, self.FILES)
+        baseline_path = tmp_path / "baseline.json"
+        first = lint_paths([tmp_path / "src"], config, baseline_path=baseline_path)
+        save_baseline(baseline_path, first.findings)
+
+        # Add a second, textually identical violation: the fingerprint
+        # count (1) absorbs only the first occurrence.
+        legacy = tmp_path / "src/repro/datasets/legacy.py"
+        legacy.write_text(legacy.read_text() + "np.random.seed(0)\n")
+        report = lint_paths([tmp_path / "src"], config, baseline_path=baseline_path)
+        assert len(report.baselined) == 1
+        assert rule_ids(report) == ["RL200"]
+        assert report.exit_code == 1
+
+    def test_fingerprints_survive_line_shifts(self, tmp_path):
+        config = make_tree(tmp_path, self.FILES)
+        baseline_path = tmp_path / "baseline.json"
+        first = lint_paths([tmp_path / "src"], config, baseline_path=baseline_path)
+        save_baseline(baseline_path, first.findings)
+
+        # Prepend unrelated lines: the violation moves but stays baselined.
+        legacy = tmp_path / "src/repro/datasets/legacy.py"
+        legacy.write_text("import os\n\n" + legacy.read_text())
+        report = lint_paths([tmp_path / "src"], config, baseline_path=baseline_path)
+        assert report.findings == []
+        assert len(report.baselined) == 1
+
+    def test_split_respects_counts(self, tmp_path):
+        config = make_tree(tmp_path, self.FILES)
+        report = lint_paths([tmp_path / "src"], config,
+                            baseline_path=tmp_path / "nonexistent.json")
+        [finding] = report.findings
+        new, matched = split_by_baseline([finding, finding],
+                                         {finding.fingerprint(): 1})
+        assert len(new) == 1 and len(matched) == 1
+
+    def test_committed_baseline_is_empty(self):
+        entries = load_baseline(REPO_ROOT / "tools/reprolint/baseline.json")
+        assert entries == {}
+
+
+# ---------------------------------------------------------------------------
+# CLI, reporters, config
+# ---------------------------------------------------------------------------
+
+
+def write_pyproject(root: Path) -> Path:
+    (root / "pyproject.toml").write_text(
+        textwrap.dedent(
+            """\
+            [tool.reprolint]
+            src-root = "src"
+            baseline = "baseline.json"
+            """
+        )
+    )
+    return root / "pyproject.toml"
+
+
+class TestCli:
+    FILES = {
+        "src/repro/core/bad.py": """\
+        import numpy as np
+        from repro.fl.server import FederatedServer
+        np.random.seed(3)
+        """
+    }
+
+    def test_nonzero_exit_and_json_findings(self, tmp_path, capsys):
+        make_tree(tmp_path, self.FILES)
+        pyproject = write_pyproject(tmp_path)
+        code = reprolint_main(
+            [str(tmp_path / "src"), "--config", str(pyproject), "--format", "json"]
+        )
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        rules = {f["rule"] for f in payload["findings"]}
+        assert rules == {"RL100", "RL200"}
+        for f in payload["findings"]:
+            assert f["path"] == "src/repro/core/bad.py"
+            assert f["line"] in (2, 3)
+            assert f["severity"] == "error"
+        assert payload["exit_code"] == 1
+
+    def test_text_format_has_locations(self, tmp_path, capsys):
+        make_tree(tmp_path, self.FILES)
+        pyproject = write_pyproject(tmp_path)
+        code = reprolint_main([str(tmp_path / "src"), "--config", str(pyproject)])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "src/repro/core/bad.py:2:0: RL100 error:" in out
+
+    def test_update_baseline_then_clean(self, tmp_path, capsys):
+        make_tree(tmp_path, self.FILES)
+        pyproject = write_pyproject(tmp_path)
+        argv = [str(tmp_path / "src"), "--config", str(pyproject)]
+        assert reprolint_main(argv + ["--update-baseline"]) == 0
+        assert (tmp_path / "baseline.json").is_file()
+        capsys.readouterr()
+        assert reprolint_main(argv) == 0
+
+    def test_missing_path_is_usage_error(self, tmp_path, capsys):
+        pyproject = write_pyproject(tmp_path)
+        code = reprolint_main(
+            [str(tmp_path / "nope"), "--config", str(pyproject)]
+        )
+        assert code == 2
+
+    def test_module_invocation_on_fixtures(self, tmp_path):
+        """End-to-end: ``python -m tools.reprolint`` on violating fixtures."""
+        make_tree(tmp_path, self.FILES)
+        write_pyproject(tmp_path)
+        proc = subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "tools.reprolint",
+                str(tmp_path / "src"),
+                "--config",
+                str(tmp_path / "pyproject.toml"),
+                "--format",
+                "json",
+            ],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 1, proc.stderr
+        payload = json.loads(proc.stdout)
+        assert {f["rule"] for f in payload["findings"]} == {"RL100", "RL200"}
+
+
+class TestConfig:
+    def test_minimal_toml_fallback_parser(self):
+        data = _parse_minimal_toml(
+            textwrap.dedent(
+                """\
+                # comment
+                [tool.reprolint]
+                src-root = "src"
+                families = ["layering", "rng"]
+                [tool.reprolint.layers]
+                "repro.core" = 2
+                "repro.fl" = 3
+                """
+            )
+        )
+        section = data["tool"]["reprolint"]
+        assert section["src-root"] == "src"
+        assert section["families"] == ["layering", "rng"]
+        assert section["layers"] == {"repro.core": 2, "repro.fl": 3}
+
+    def test_repo_pyproject_roundtrip(self):
+        config = load_config(REPO_ROOT / "pyproject.toml")
+        assert config.root == REPO_ROOT
+        assert config.layers["repro.fl"] == 3
+        assert config.layers["repro.core"] == 2
+        assert set(config.enabled_families) == {
+            "layering", "rng", "dtype", "safety", "theory",
+        }
+        assert config.layer_of("repro.core.local.proxvr") == 2
+        assert config.layer_of("repro.unmapped_new_module") == 99
+        assert config.layer_of("numpy.random") is None
+
+    def test_disabled_family_skips_rules(self, tmp_path):
+        config = make_tree(
+            tmp_path, {"src/repro/core/bad.py": "from repro.fl import server\n"}
+        )
+        config.enabled_families = ["rng"]
+        report = lint_paths([tmp_path / "src"], config)
+        assert report.findings == []
+
+    def test_severity_override(self, tmp_path):
+        config = make_tree(
+            tmp_path,
+            {"src/repro/datasets/bad.py": "import numpy as np\nnp.random.seed(0)\n"},
+        )
+        config.severity_overrides = {"RL200": Severity.INFO}
+        report = lint_paths([tmp_path / "src"], config)
+        assert rule_ids(report) == ["RL200"]
+        assert report.exit_code == 0
+
+
+# ---------------------------------------------------------------------------
+# The tier-1 gate: the real src/ tree must satisfy every invariant
+# ---------------------------------------------------------------------------
+
+
+class TestSrcGate:
+    @pytest.fixture(scope="class")
+    def report(self):
+        config = load_config(REPO_ROOT / "pyproject.toml")
+        return lint_paths([REPO_ROOT / "src"], config)
+
+    def test_src_has_no_gating_findings(self, report):
+        gating = report.gating
+        details = "\n".join(
+            f"  {f.location()}: {f.rule_id} {f.severity.value}: {f.message}"
+            for f in gating
+        )
+        assert not gating, (
+            "reprolint found new violations in src/ "
+            "(fix them, suppress inline with justification, or — for "
+            f"pre-existing debt — baseline them):\n{details}"
+        )
+        assert report.exit_code == 0
+
+    def test_core_layering_baseline_is_empty(self, report):
+        # The PR-3 refactor moved the federated drivers (fsvrg, tuning)
+        # into repro/fl; core must stay free of upward imports, even
+        # baselined ones.
+        layering = [
+            f
+            for f in report.findings + report.baselined
+            if f.rule_id.startswith("RL1") and f.path.startswith("src/repro/core")
+        ]
+        assert layering == []
+
+    def test_src_tree_was_actually_checked(self, report):
+        assert report.files_checked > 60

@@ -40,6 +40,29 @@ class TestCheckPositive:
         with pytest.raises(ConfigurationError, match="learning_rate"):
             check_positive("learning_rate", -3)
 
+    def test_rejects_negative_infinity(self):
+        # -inf fails the finiteness check, not the sign check, and in
+        # either mode.
+        for strict in (True, False):
+            with pytest.raises(ConfigurationError, match="finite"):
+                check_positive("x", float("-inf"), strict=strict)
+
+    def test_rejects_nonfinite_even_when_not_strict(self):
+        with pytest.raises(ConfigurationError):
+            check_positive("x", float("nan"), strict=False)
+        with pytest.raises(ConfigurationError):
+            check_positive("x", float("inf"), strict=False)
+
+    def test_boundary_smallest_positive(self):
+        tiny = np.nextafter(0.0, 1.0)  # smallest positive subnormal
+        assert check_positive("x", tiny) == tiny
+        with pytest.raises(ConfigurationError):
+            check_positive("x", -tiny, strict=False)
+
+    def test_returns_float_coercion(self):
+        out = check_positive("x", 3)
+        assert isinstance(out, float) and out == 3.0
+
 
 class TestCheckProbability:
     @pytest.mark.parametrize("v", [0.0, 0.5, 1.0])
@@ -50,6 +73,25 @@ class TestCheckProbability:
     def test_rejects_outside(self, v):
         with pytest.raises(ConfigurationError):
             check_probability("p", v)
+
+    @pytest.mark.parametrize(
+        "v", [float("nan"), float("inf"), float("-inf")]
+    )
+    def test_rejects_nonfinite(self, v):
+        # nan fails both interval comparisons; the infinities fall
+        # outside [0, 1].  All must raise, never propagate.
+        with pytest.raises(ConfigurationError, match="p"):
+            check_probability("p", v)
+
+    def test_boundary_neighbours(self):
+        # The closest representable values outside [0, 1] are rejected,
+        # the closest inside are accepted.
+        assert check_probability("p", np.nextafter(0.0, 1.0)) > 0.0
+        assert check_probability("p", np.nextafter(1.0, 0.0)) < 1.0
+        with pytest.raises(ConfigurationError):
+            check_probability("p", np.nextafter(0.0, -1.0))
+        with pytest.raises(ConfigurationError):
+            check_probability("p", np.nextafter(1.0, 2.0))
 
 
 class TestCheckInRange:

@@ -1,0 +1,37 @@
+"""reprolint — repository-specific AST static analysis.
+
+A self-contained (stdlib-only) linter enforcing the invariants this
+reproduction's correctness rests on but that Python never checks at
+runtime:
+
+* **layering** (RL1xx) — the package DAG
+  ``utils -> nn/models/datasets -> core -> fl -> cli/analysis/viz``;
+* **RNG discipline** (RL2xx) — no legacy global numpy RNG; thread
+  ``numpy.random.Generator`` via :mod:`repro.utils.rng`;
+* **dtype discipline** (RL3xx) — float64 end to end in nn hot paths;
+* **numerical safety** (RL4xx) — bare excepts, mutable defaults,
+  unclamped log/exp and unguarded division in loss/prox code;
+* **theory contracts** (RL5xx) — literal hyperparameters violating the
+  ICPP'20 Lemma 1 (``beta > 3``, tau upper bounds).
+
+See ``docs/LINTING.md`` for every rule, the suppression syntax
+(``# reprolint: disable=RLxxx``), and the baseline-ratchet workflow.
+"""
+
+from tools.reprolint.config import LintConfig, load_config
+from tools.reprolint.engine import LintReport, lint_paths
+from tools.reprolint.findings import Finding, Severity
+from tools.reprolint.registry import all_rules
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Finding",
+    "LintConfig",
+    "LintReport",
+    "Severity",
+    "all_rules",
+    "lint_paths",
+    "load_config",
+    "__version__",
+]

@@ -1,0 +1,135 @@
+"""Small AST utilities shared by the rule implementations."""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Tuple
+
+
+def walk_with_parents(tree: ast.AST) -> Iterator[ast.AST]:
+    """``ast.walk`` that also stamps ``node._reprolint_parent``."""
+    for node in ast.walk(tree):
+        for child in ast.iter_child_nodes(node):
+            child._reprolint_parent = node  # type: ignore[attr-defined]
+        yield node
+
+
+def numeric_literal(node: ast.AST) -> Optional[float]:
+    """The value of a numeric ``Constant`` / signed constant, else None."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, (int, float)):
+        if isinstance(node.value, bool):
+            return None
+        return float(node.value)
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.USub, ast.UAdd)):
+        inner = numeric_literal(node.operand)
+        if inner is None:
+            return None
+        return -inner if isinstance(node.op, ast.USub) else inner
+    return None
+
+
+def string_literal(node: ast.AST) -> Optional[str]:
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None
+
+
+def keyword_map(call: ast.Call) -> Dict[str, ast.expr]:
+    """``name -> value`` for the call's explicit keywords (no ``**``)."""
+    return {kw.arg: kw.value for kw in call.keywords if kw.arg is not None}
+
+
+def attribute_chain(node: ast.AST) -> Optional[List[str]]:
+    """``a.b.c`` as ``["a", "b", "c"]``; None for non-name-rooted chains."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return list(reversed(parts))
+    return None
+
+
+class NumpyAliases:
+    """Track how this module refers to ``numpy`` and ``numpy.random``.
+
+    Understands ``import numpy``, ``import numpy as np``,
+    ``from numpy import random [as r]``, and
+    ``from numpy.random import <name> [as alias]``.
+    """
+
+    def __init__(self, tree: ast.AST) -> None:
+        self.numpy_names: set = set()
+        self.random_names: set = set()
+        self.direct_random_members: Dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "numpy":
+                        self.numpy_names.add(alias.asname or "numpy")
+                    elif alias.name == "numpy.random":
+                        # ``import numpy.random`` binds ``numpy``
+                        self.numpy_names.add(alias.asname or "numpy")
+            elif isinstance(node, ast.ImportFrom) and node.level == 0:
+                if node.module == "numpy":
+                    for alias in node.names:
+                        if alias.name == "random":
+                            self.random_names.add(alias.asname or "random")
+                elif node.module == "numpy.random":
+                    for alias in node.names:
+                        self.direct_random_members[alias.asname or alias.name] = (
+                            alias.name
+                        )
+
+    def random_member(self, node: ast.AST) -> Optional[str]:
+        """If ``node`` refers to ``numpy.random.<member>``, return member."""
+        chain = attribute_chain(node)
+        if chain is not None:
+            if (
+                len(chain) == 3
+                and chain[0] in self.numpy_names
+                and chain[1] == "random"
+            ):
+                return chain[2]
+            if len(chain) == 2 and chain[0] in self.random_names:
+                return chain[1]
+        if isinstance(node, ast.Name) and node.id in self.direct_random_members:
+            return self.direct_random_members[node.id]
+        return None
+
+    def is_numpy_attr(self, node: ast.AST, *names: str) -> bool:
+        """True when ``node`` is ``np.<name>`` for any of ``names``."""
+        chain = attribute_chain(node)
+        return (
+            chain is not None
+            and len(chain) == 2
+            and chain[0] in self.numpy_names
+            and chain[1] in names
+        )
+
+
+def contains_call_to(node: ast.AST, func_names: Tuple[str, ...]) -> bool:
+    """Does any descendant call a function whose (attribute) name matches?"""
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Call):
+            fn = sub.func
+            name = None
+            if isinstance(fn, ast.Attribute):
+                name = fn.attr
+            elif isinstance(fn, ast.Name):
+                name = fn.id
+            if name in func_names:
+                return True
+    return False
+
+
+def contains_literal_offset(node: ast.AST) -> bool:
+    """Does the expression add a positive numeric literal (the eps idiom)?"""
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.BinOp) and isinstance(sub.op, ast.Add):
+            for side in (sub.left, sub.right):
+                v = numeric_literal(side)
+                if v is not None and v > 0:
+                    return True
+    return False

@@ -1,0 +1,68 @@
+"""Committed-baseline mechanism (the ratchet).
+
+A baseline file records the fingerprints of *accepted* pre-existing
+violations so a newly introduced rule can land without blocking on a
+large cleanup.  Runs then fail only on findings NOT covered by the
+baseline; as violations are fixed, ``--update-baseline`` shrinks the
+file (the ratchet only turns one way: the gate test keeps the count
+from growing, review keeps it from being re-added).
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Dict, Iterable, List, Tuple
+
+from tools.reprolint.findings import Finding
+
+BASELINE_VERSION = 1
+
+
+def load_baseline(path: Path) -> Dict[str, int]:
+    """Read ``fingerprint -> accepted count``; empty when absent."""
+    if not path.is_file():
+        return {}
+    data = json.loads(path.read_text(encoding="utf-8"))
+    entries = data.get("entries", {})
+    return {str(k): int(v) for k, v in entries.items()}
+
+
+def save_baseline(path: Path, findings: Iterable[Finding]) -> Dict[str, int]:
+    """Write the baseline covering exactly ``findings``; returns entries."""
+    counts = Counter(f.fingerprint() for f in findings)
+    entries = dict(sorted(counts.items()))
+    payload = {
+        "version": BASELINE_VERSION,
+        "comment": (
+            "Accepted pre-existing reprolint violations. Shrink me; "
+            "never grow me. Regenerate with --update-baseline."
+        ),
+        "entries": entries,
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return entries
+
+
+def split_by_baseline(
+    findings: List[Finding], baseline: Dict[str, int]
+) -> Tuple[List[Finding], List[Finding]]:
+    """Partition into (new, baselined).
+
+    Each fingerprint absorbs at most its accepted count, so adding a
+    *second* identical violation to a file with one accepted entry still
+    fails the run.
+    """
+    budget = Counter(baseline)
+    new: List[Finding] = []
+    matched: List[Finding] = []
+    for f in findings:
+        fp = f.fingerprint()
+        if budget[fp] > 0:
+            budget[fp] -= 1
+            matched.append(f)
+        else:
+            new.append(f)
+    return new, matched

@@ -1,0 +1,87 @@
+"""Command-line entry point: ``python -m tools.reprolint [paths...]``."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from tools.reprolint.baseline import save_baseline
+from tools.reprolint.config import load_config
+from tools.reprolint.engine import lint_paths
+from tools.reprolint.registry import all_rules
+from tools.reprolint.reporters import render_json, render_text
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="reprolint",
+        description=(
+            "AST static analysis enforcing this repository's layering, RNG, "
+            "dtype, numerical-safety, and FedProxVR theory contracts."
+        ),
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src"], help="files or directories (default: src)"
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text", dest="fmt"
+    )
+    parser.add_argument(
+        "--config",
+        default=None,
+        help="pyproject.toml holding [tool.reprolint] (default: ./pyproject.toml)",
+    )
+    parser.add_argument(
+        "--baseline", default=None, help="override the configured baseline path"
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="accept all current findings into the baseline and exit 0",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print every rule and exit"
+    )
+    parser.add_argument(
+        "-v", "--verbose", action="store_true", help="show offending source lines"
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.list_rules:
+        for cls in all_rules():
+            print(f"{cls.rule_id}  [{cls.family:8s}] {cls.severity.value:7s} "
+                  f"{cls.description}")
+        return 0
+
+    config = load_config(Path(args.config) if args.config else None)
+    baseline_path = Path(args.baseline) if args.baseline else config.baseline_path()
+    paths = [Path(p) for p in args.paths]
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        print(f"error: no such path(s): {', '.join(map(str, missing))}",
+              file=sys.stderr)
+        return 2
+
+    report = lint_paths(paths, config, baseline_path=baseline_path)
+
+    if args.update_baseline:
+        entries = save_baseline(baseline_path, report.findings + report.baselined)
+        print(f"baseline written: {baseline_path} ({len(entries)} fingerprint(s), "
+              f"{len(report.findings) + len(report.baselined)} finding(s))")
+        return 0
+
+    if args.fmt == "json":
+        print(render_json(report))
+    else:
+        print(render_text(report, verbose=args.verbose))
+    return report.exit_code
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,139 @@
+"""File discovery, rule execution, suppression and baseline filtering."""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from tools.reprolint.baseline import load_baseline, split_by_baseline
+from tools.reprolint.config import LintConfig
+from tools.reprolint.findings import Finding, Severity, sort_findings
+from tools.reprolint.registry import FileContext, active_rules
+from tools.reprolint.suppressions import is_suppressed
+
+_SKIP_DIRS = {"__pycache__", ".git", ".hypothesis", ".pytest_cache", "build", "dist"}
+
+
+@dataclass
+class LintReport:
+    """Outcome of one lint run."""
+
+    findings: List[Finding] = field(default_factory=list)
+    baselined: List[Finding] = field(default_factory=list)
+    suppressed_count: int = 0
+    files_checked: int = 0
+
+    @property
+    def gating(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity.gates]
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.gating else 0
+
+    def counts_by_severity(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for f in self.findings:
+            out[f.severity.value] = out.get(f.severity.value, 0) + 1
+        return out
+
+
+def iter_python_files(paths: Sequence[Path]) -> Iterable[Path]:
+    for path in paths:
+        if path.is_file() and path.suffix == ".py":
+            yield path
+        elif path.is_dir():
+            for sub in sorted(path.rglob("*.py")):
+                if not any(
+                    part in _SKIP_DIRS or part.startswith(".") for part in sub.parts
+                ):
+                    yield sub
+
+
+def module_name_for(path: Path, config: LintConfig) -> Optional[str]:
+    """Dotted module name for files under ``<root>/<src_root>``, else None.
+
+    Only src-tree files get a module identity (and therefore layer and
+    hot-path scoping); tests, tools, and benches are still parsed, and
+    rules treat ``module_name=None`` as out of scope where appropriate.
+    """
+    try:
+        rel = path.resolve().relative_to((config.root / config.src_root).resolve())
+    except ValueError:
+        return None
+    parts = list(rel.with_suffix("").parts)
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts) if parts else None
+
+
+def display_path(path: Path, config: LintConfig) -> str:
+    try:
+        return path.resolve().relative_to(config.root.resolve()).as_posix()
+    except ValueError:
+        return str(path)
+
+
+def lint_file(path: Path, config: LintConfig) -> Tuple[List[Finding], int]:
+    """Lint one file; returns ``(findings, suppressed_count)``."""
+    source = path.read_text(encoding="utf-8")
+    lines = source.splitlines()
+    shown = display_path(path, config)
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        bad_line = (
+            lines[exc.lineno - 1] if exc.lineno and exc.lineno <= len(lines) else ""
+        )
+        return (
+            [
+                Finding(
+                    rule_id="RL000",
+                    message=f"syntax error: {exc.msg}",
+                    path=shown,
+                    line=exc.lineno or 1,
+                    col=exc.offset or 0,
+                    severity=Severity.ERROR,
+                    source_line=bad_line,
+                )
+            ],
+            0,
+        )
+    ctx = FileContext(
+        path=path,
+        display_path=shown,
+        module_name=module_name_for(path, config),
+        source=source,
+        lines=lines,
+        config=config,
+    )
+    findings: List[Finding] = []
+    for rule in active_rules(config):
+        findings.extend(rule.check(tree, ctx))
+    kept = [f for f in findings if not is_suppressed(f, lines)]
+    return kept, len(findings) - len(kept)
+
+
+def lint_paths(
+    paths: Sequence[Path],
+    config: LintConfig,
+    *,
+    baseline_path: Optional[Path] = None,
+) -> LintReport:
+    """Lint every Python file under ``paths`` and apply the baseline."""
+    report = LintReport()
+    raw: List[Finding] = []
+    for path in iter_python_files([Path(p) for p in paths]):
+        file_findings, suppressed = lint_file(path, config)
+        report.files_checked += 1
+        report.suppressed_count += suppressed
+        raw.extend(file_findings)
+    if baseline_path is None:
+        baseline_path = config.baseline_path()
+    baseline = load_baseline(baseline_path)
+    new, matched = split_by_baseline(sort_findings(raw), baseline)
+    report.findings = new
+    report.baselined = matched
+    return report

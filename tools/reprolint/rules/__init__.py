@@ -1,0 +1,3 @@
+"""Rule implementations; importing this package registers every rule."""
+
+from tools.reprolint.rules import dtype, layering, rng, safety, theory  # noqa: F401

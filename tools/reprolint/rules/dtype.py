@@ -1,0 +1,135 @@
+"""RL3xx — dtype discipline in numerical hot paths.
+
+The repo's contract (README "Key design decisions") is that every
+algorithm operates on flat **float64** parameter vectors: gradient
+checks, the smoothness (L) estimates that set the step size
+``eta = 1/(beta L)``, and the Lemma 1 certificates all assume float64
+accumulation.  A stray float32 cast in :mod:`repro.nn` silently halves
+the mantissa and shows up as gradcheck noise, not as an error — so it
+is flagged statically in the configured ``dtype-modules``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Optional
+
+from tools.reprolint.asthelpers import NumpyAliases, keyword_map, string_literal
+from tools.reprolint.findings import Finding, Severity
+from tools.reprolint.registry import FileContext, Rule, register
+
+_NARROW_FLOATS = {"float32", "float16", "single", "half"}
+_ARRAY_FACTORIES = {
+    "zeros",
+    "ones",
+    "empty",
+    "full",
+    "array",
+    "asarray",
+    "ascontiguousarray",
+    "arange",
+    "linspace",
+    "zeros_like",
+    "ones_like",
+    "empty_like",
+    "full_like",
+    "frombuffer",
+    "fromiter",
+}
+
+
+def _narrow_float_name(node: ast.AST, aliases: NumpyAliases) -> Optional[str]:
+    """'float32'/'float16'/... when the node denotes a narrow float dtype."""
+    s = string_literal(node)
+    if s is not None:
+        return s if s in _NARROW_FLOATS else None
+    for name in _NARROW_FLOATS:
+        if aliases.is_numpy_attr(node, name):
+            return name
+    if isinstance(node, ast.Name) and node.id in _NARROW_FLOATS:
+        return node.id
+    return None
+
+
+def _in_scope(ctx: FileContext) -> bool:
+    return ctx.config.module_matches(ctx.module_name, ctx.config.dtype_modules)
+
+
+@register
+class NarrowAstypeRule(Rule):
+    """RL300: ``.astype(np.float32)`` (or narrower) in a hot-path module."""
+
+    rule_id = "RL300"
+    family = "dtype"
+    severity = Severity.ERROR
+    description = (
+        "astype() to a sub-float64 dtype breaks the flat-float64 parameter "
+        "contract in nn hot paths."
+    )
+
+    def check(self, tree: ast.AST, ctx: FileContext) -> Iterable[Finding]:
+        if not _in_scope(ctx):
+            return
+        aliases = NumpyAliases(tree)
+        for node in ast.walk(tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "astype"
+            ):
+                continue
+            candidates = list(node.args) + [
+                kw.value for kw in node.keywords if kw.arg in (None, "dtype")
+            ]
+            for arg in candidates:
+                name = _narrow_float_name(arg, aliases)
+                if name is not None:
+                    yield self.make_finding(
+                        ctx,
+                        node,
+                        f"astype({name}) narrows below float64; gradcheck and "
+                        "smoothness estimates assume float64 end to end",
+                        dtype=name,
+                    )
+
+
+@register
+class NarrowCreationRule(Rule):
+    """RL301: array factory called with an explicit sub-float64 dtype."""
+
+    rule_id = "RL301"
+    family = "dtype"
+    severity = Severity.ERROR
+    description = (
+        "np.zeros/ones/array(..., dtype=float32/float16) in nn hot paths; "
+        "parameters and activations must be float64."
+    )
+
+    def check(self, tree: ast.AST, ctx: FileContext) -> Iterable[Finding]:
+        if not _in_scope(ctx):
+            return
+        aliases = NumpyAliases(tree)
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            fn = node.func
+            factory = None
+            if isinstance(fn, ast.Attribute) and fn.attr in _ARRAY_FACTORIES:
+                factory = fn.attr
+            elif isinstance(fn, ast.Name) and fn.id in _ARRAY_FACTORIES:
+                factory = fn.id
+            if factory is None:
+                continue
+            dtype_node = keyword_map(node).get("dtype")
+            if dtype_node is None:
+                continue
+            name = _narrow_float_name(dtype_node, aliases)
+            if name is not None:
+                yield self.make_finding(
+                    ctx,
+                    node,
+                    f"{factory}(..., dtype={name}) creates a sub-float64 "
+                    "array in a float64-contract module",
+                    factory=factory,
+                    dtype=name,
+                )

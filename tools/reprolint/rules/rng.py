@@ -1,0 +1,129 @@
+"""RL2xx — RNG discipline.
+
+Reproducibility in the federated simulator rests on the
+``SeedSequence``-spawning discipline of :mod:`repro.utils.rng`: every
+stochastic actor (client x round, data generation, search) draws from
+its own derived :class:`numpy.random.Generator`.  The legacy global API
+(``np.random.seed`` + module-level draws) is hidden shared state — it
+makes results depend on call order and breaks thread-pool execution —
+so it is banned outright in ``src/``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from tools.reprolint.asthelpers import NumpyAliases
+from tools.reprolint.findings import Finding, Severity
+from tools.reprolint.registry import FileContext, Rule, register
+
+#: Modern, order-independent numpy.random members that remain allowed.
+_ALLOWED_RANDOM_MEMBERS = {
+    "default_rng",
+    "Generator",
+    "SeedSequence",
+    "BitGenerator",
+    "PCG64",
+    "PCG64DXSM",
+    "MT19937",
+    "Philox",
+    "SFC64",
+}
+
+
+def _in_src_package(ctx: FileContext) -> bool:
+    return ctx.module_name is not None
+
+
+@register
+class GlobalSeedRule(Rule):
+    """RL200: ``np.random.seed`` mutates hidden global state."""
+
+    rule_id = "RL200"
+    family = "rng"
+    severity = Severity.ERROR
+    description = (
+        "np.random.seed() mutates the process-global legacy RNG; seed a "
+        "Generator via repro.utils.rng instead."
+    )
+
+    def check(self, tree: ast.AST, ctx: FileContext) -> Iterable[Finding]:
+        if not _in_src_package(ctx):
+            return
+        aliases = NumpyAliases(tree)
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Call) and aliases.random_member(node.func) == "seed":
+                yield self.make_finding(
+                    ctx,
+                    node,
+                    "np.random.seed() sets process-global state; use "
+                    "repro.utils.rng.as_generator / spawn_seeds and thread "
+                    "the Generator explicitly",
+                )
+
+
+@register
+class LegacyRandomStateRule(Rule):
+    """RL201: ``np.random.RandomState`` is the legacy, frozen-bit-stream API."""
+
+    rule_id = "RL201"
+    family = "rng"
+    severity = Severity.ERROR
+    description = (
+        "np.random.RandomState is legacy; use numpy.random.Generator via "
+        "repro.utils.rng."
+    )
+
+    def check(self, tree: ast.AST, ctx: FileContext) -> Iterable[Finding]:
+        if not _in_src_package(ctx):
+            return
+        aliases = NumpyAliases(tree)
+        for node in ast.walk(tree):
+            # Flag any reference (call or not): holding a RandomState is
+            # already a contract violation for the solver interfaces.
+            if aliases.random_member(node) == "RandomState" and not isinstance(
+                node, (ast.Import, ast.ImportFrom)
+            ):
+                yield self.make_finding(
+                    ctx,
+                    node,
+                    "np.random.RandomState is the legacy RNG; accept/produce "
+                    "numpy.random.Generator (see repro.utils.rng)",
+                )
+                break  # one finding per file is enough signal
+
+
+@register
+class ModuleLevelDrawRule(Rule):
+    """RL202: module-level draw from the global RNG (``np.random.rand`` etc.)."""
+
+    rule_id = "RL202"
+    family = "rng"
+    severity = Severity.ERROR
+    description = (
+        "Module-level np.random draws consume hidden global state; draw "
+        "from an explicitly threaded Generator."
+    )
+
+    def check(self, tree: ast.AST, ctx: FileContext) -> Iterable[Finding]:
+        if not _in_src_package(ctx):
+            return
+        aliases = NumpyAliases(tree)
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            member = aliases.random_member(node.func)
+            if member is None or member in _ALLOWED_RANDOM_MEMBERS:
+                continue
+            # RL200/RL201's findings; avoid double-reporting the same call
+            if member in ("seed", "RandomState"):
+                continue
+            yield self.make_finding(
+                ctx,
+                node,
+                f"np.random.{member}() draws from the process-global RNG; "
+                "use a numpy.random.Generator from repro.utils.rng "
+                "(as_generator / spawn_generators / derive_generator)",
+                member=member,
+            )

@@ -1,0 +1,188 @@
+"""RL4xx — numerical and exception safety.
+
+Bare excepts and mutable default arguments are banned repo-wide; the
+unclamped-``log``/``exp`` and unguarded-division checks are scoped to
+the configured ``numeric-modules`` (loss and prox code), where a silent
+``-inf``/overflow corrupts training instead of crashing it.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from tools.reprolint.asthelpers import (
+    NumpyAliases,
+    contains_call_to,
+    contains_literal_offset,
+    numeric_literal,
+)
+from tools.reprolint.findings import Finding, Severity
+from tools.reprolint.registry import FileContext, Rule, register
+
+#: Calls inside an argument expression that count as clamping/guarding.
+_GUARD_CALLS = ("clip", "maximum", "minimum", "abs", "where", "nan_to_num",
+                "log1p", "expm1", "max", "min")
+
+
+def _numeric_scope(ctx: FileContext) -> bool:
+    return ctx.config.module_matches(ctx.module_name, ctx.config.numeric_modules)
+
+
+@register
+class BareExceptRule(Rule):
+    """RL400: ``except:`` swallows everything, including KeyboardInterrupt."""
+
+    rule_id = "RL400"
+    family = "safety"
+    severity = Severity.ERROR
+    description = "Bare except: catches SystemExit/KeyboardInterrupt; name the exception."
+
+    def check(self, tree: ast.AST, ctx: FileContext) -> Iterable[Finding]:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ExceptHandler) and node.type is None:
+                yield self.make_finding(
+                    ctx,
+                    node,
+                    "bare 'except:' hides real failures (and catches "
+                    "KeyboardInterrupt); catch a named exception",
+                )
+
+
+@register
+class MutableDefaultRule(Rule):
+    """RL401: mutable default argument is shared across calls."""
+
+    rule_id = "RL401"
+    family = "safety"
+    severity = Severity.ERROR
+    description = "Mutable default argument ([], {}, set(), …) is evaluated once."
+
+    def check(self, tree: ast.AST, ctx: FileContext) -> Iterable[Finding]:
+        for node in ast.walk(tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            defaults = list(node.args.defaults) + [
+                d for d in node.args.kw_defaults if d is not None
+            ]
+            for default in defaults:
+                if self._is_mutable(default):
+                    yield self.make_finding(
+                        ctx,
+                        default,
+                        f"mutable default argument in {node.name}(): the same "
+                        "object is shared across every call; default to None",
+                        function=node.name,
+                    )
+
+    @staticmethod
+    def _is_mutable(node: ast.AST) -> bool:
+        if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                             ast.DictComp, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+            return node.func.id in ("list", "dict", "set", "bytearray")
+        return False
+
+
+@register
+class UnclampedLogRule(Rule):
+    """RL402: ``np.log`` of an unguarded expression in loss/prox code."""
+
+    rule_id = "RL402"
+    family = "safety"
+    severity = Severity.WARNING
+    description = (
+        "np.log of an unclamped argument yields -inf/nan at 0; clip or "
+        "offset the argument (or suppress with a safety argument)."
+    )
+
+    _LOGS = ("log", "log2", "log10")
+
+    def check(self, tree: ast.AST, ctx: FileContext) -> Iterable[Finding]:
+        if not _numeric_scope(ctx):
+            return
+        aliases = NumpyAliases(tree)
+        for node in ast.walk(tree):
+            if not (isinstance(node, ast.Call) and node.args):
+                continue
+            if not aliases.is_numpy_attr(node.func, *self._LOGS):
+                continue
+            arg = node.args[0]
+            if numeric_literal(arg) is not None:
+                continue
+            if contains_call_to(arg, _GUARD_CALLS) or contains_literal_offset(arg):
+                continue
+            yield self.make_finding(
+                ctx,
+                node,
+                "np.log of an unclamped expression: a zero argument makes "
+                "the loss -inf without raising; clip/offset the argument or "
+                "document safety with '# reprolint: disable=RL402'",
+            )
+
+
+@register
+class UnclampedExpRule(Rule):
+    """RL403 (info): ``np.exp`` of an unguarded expression may overflow."""
+
+    rule_id = "RL403"
+    family = "safety"
+    severity = Severity.INFO
+    description = (
+        "np.exp of an unclamped argument overflows to inf around 710; "
+        "consider the max-shift idiom or clipping."
+    )
+
+    def check(self, tree: ast.AST, ctx: FileContext) -> Iterable[Finding]:
+        if not _numeric_scope(ctx):
+            return
+        aliases = NumpyAliases(tree)
+        for node in ast.walk(tree):
+            if not (isinstance(node, ast.Call) and node.args):
+                continue
+            if not aliases.is_numpy_attr(node.func, "exp"):
+                continue
+            arg = node.args[0]
+            if numeric_literal(arg) is not None:
+                continue
+            if contains_call_to(arg, _GUARD_CALLS) or contains_literal_offset(arg):
+                continue
+            yield self.make_finding(
+                ctx,
+                node,
+                "np.exp of an unclamped expression can overflow to inf; "
+                "prefer the max-shift idiom (exp(x - x.max()))",
+            )
+
+
+@register
+class UnguardedDivisionRule(Rule):
+    """RL404 (info): division by a bare variable in loss/prox code."""
+
+    rule_id = "RL404"
+    family = "safety"
+    severity = Severity.INFO
+    description = (
+        "Division by a bare name in numeric hot paths; confirm the "
+        "denominator cannot be zero (batch sizes, sums of exps, norms)."
+    )
+
+    def check(self, tree: ast.AST, ctx: FileContext) -> Iterable[Finding]:
+        if not _numeric_scope(ctx):
+            return
+        for node in ast.walk(tree):
+            den = None
+            if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Div):
+                den = node.right
+            elif isinstance(node, ast.AugAssign) and isinstance(node.op, ast.Div):
+                den = node.value
+            if den is None:
+                continue
+            if isinstance(den, (ast.Name, ast.Attribute)):
+                yield self.make_finding(
+                    ctx,
+                    node,
+                    "division by a bare variable; confirm it is provably "
+                    "non-zero or add an epsilon/max guard",
+                )

@@ -1,0 +1,184 @@
+"""RL5xx — theory contracts (ICPP'20 Lemma 1).
+
+The paper's local-convergence lemma constrains the hyperparameters that
+appear all over configs, benches, and examples:
+
+* the step-size parameter must satisfy ``beta > 3`` (the tau lower
+  bound (55) diverges as ``beta -> 3+``);
+* the local iteration count is capped by eq. (13) for SARAH
+  (``tau <= (5 beta^2 - 4 beta)/8``) and the smaller self-consistent
+  eq. (14) bound for SVRG.
+
+These are *statically decidable* whenever both values are literals at a
+call site, so misconfigured experiments are caught at lint time instead
+of via a diverged training curve.  Bounds are computed by
+:mod:`repro.core.theory` when importable (the single source of truth);
+closed-form fallbacks keep the linter dependency-free otherwise.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+from typing import Iterable, List, Optional
+
+from tools.reprolint.asthelpers import keyword_map, numeric_literal, string_literal
+from tools.reprolint.findings import Finding, Severity
+from tools.reprolint.registry import FileContext, Rule, register
+
+#: Keywords that denote the paper's tau (local iteration count).
+_TAU_KEYWORDS = ("tau", "num_local_steps")
+
+
+def _theory_module():
+    """``repro.core.theory`` if importable, else None (use fallbacks)."""
+    try:
+        from repro.core import theory  # type: ignore
+
+        return theory
+    except ImportError:
+        pass
+    # Running standalone from the repo root without PYTHONPATH=src: the
+    # source tree sits next to the tools package.
+    src = Path(__file__).resolve().parents[3] / "src"
+    if src.is_dir() and str(src) not in sys.path:
+        sys.path.insert(0, str(src))
+        try:
+            from repro.core import theory  # type: ignore
+
+            return theory
+        except ImportError:
+            pass
+    return None
+
+
+def _tau_upper_bound(beta: float, estimator: str) -> float:
+    theory = _theory_module()
+    if theory is not None:
+        if estimator == "svrg":
+            return float(theory.tau_upper_bound_svrg(beta))
+        return float(theory.tau_upper_bound_sarah(beta))
+    # Fallback closed forms (paper eqs. (13)/(14) with a_min from (65)).
+    if estimator != "svrg":
+        return (5.0 * beta**2 - 4.0 * beta) / 8.0
+    import math
+
+    base = 5.0 * beta**2 - 4.0 * beta
+
+    def a_min(tau: float) -> float:
+        return 4.0 * (math.sqrt(tau + 1.0) + math.sqrt(tau + 2.0)) ** 2
+
+    tau = 0
+    while tau + 1 <= base / (8.0 * a_min(tau + 1)) - 2.0:
+        tau += 1
+    return float(tau)
+
+
+def _beta_values(node: ast.AST) -> List[float]:
+    """Literal beta value(s): a scalar or a tuple/list grid of literals."""
+    v = numeric_literal(node)
+    if v is not None:
+        return [v]
+    if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+        vals = [numeric_literal(e) for e in node.elts]
+        return [v for v in vals if v is not None]
+    return []
+
+
+def _estimator_hint(call: ast.Call) -> str:
+    """'svrg'/'sarah' when the call names the estimator, else 'sarah'.
+
+    The SARAH bound is the laxer of the two, so defaulting to it keeps
+    the rule free of false positives when the estimator is unknown.
+    """
+    kwargs = keyword_map(call)
+    for key in ("algorithm", "estimator"):
+        s = string_literal(kwargs.get(key, ast.Constant(value=None)))
+        if s is not None:
+            s = s.lower()
+            if "svrg" in s:
+                return "svrg"
+            if "sarah" in s:
+                return "sarah"
+    return "sarah"
+
+
+@register
+class BetaBoundRule(Rule):
+    """RL500: literal ``beta <= 3`` violates Lemma 1."""
+
+    rule_id = "RL500"
+    family = "theory"
+    severity = Severity.ERROR
+    description = (
+        "Lemma 1 requires beta > 3 (the tau lower bound (55) diverges at "
+        "beta = 3); a literal beta <= 3 can never satisfy the theory."
+    )
+
+    def check(self, tree: ast.AST, ctx: FileContext) -> Iterable[Finding]:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            beta_node = keyword_map(node).get("beta")
+            if beta_node is None:
+                continue
+            for value in _beta_values(beta_node):
+                if value <= 3.0:
+                    yield self.make_finding(
+                        ctx,
+                        beta_node,
+                        f"beta={value:g} violates Lemma 1 (requires beta > 3; "
+                        "eta = 1/(beta L) with beta <= 3 admits no feasible "
+                        "local iteration count)",
+                        beta=value,
+                    )
+
+
+@register
+class TauUpperBoundRule(Rule):
+    """RL501: literal tau exceeds the Lemma 1 upper bound for literal beta."""
+
+    rule_id = "RL501"
+    family = "theory"
+    severity = Severity.ERROR
+    description = (
+        "tau above the Lemma 1 cap — eq. (13) for SARAH, eq. (14) for "
+        "SVRG — voids the convergence guarantee."
+    )
+
+    def check(self, tree: ast.AST, ctx: FileContext) -> Iterable[Finding]:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            kwargs = keyword_map(node)
+            beta_node = kwargs.get("beta")
+            if beta_node is None:
+                continue
+            betas = [b for b in _beta_values(beta_node) if b > 3.0]
+            if not betas:
+                continue  # beta <= 3 is RL500's finding
+            tau_node: Optional[ast.AST] = None
+            for key in _TAU_KEYWORDS:
+                if key in kwargs:
+                    tau_node = kwargs[key]
+                    break
+            if tau_node is None:
+                continue
+            tau = numeric_literal(tau_node)
+            if tau is None:
+                continue
+            estimator = _estimator_hint(node)
+            # A grid is compatible if at least one beta admits this tau.
+            bound = max(_tau_upper_bound(b, estimator) for b in betas)
+            if tau > bound:
+                yield self.make_finding(
+                    ctx,
+                    tau_node,
+                    f"tau={tau:g} exceeds the Lemma 1 {estimator.upper()} "
+                    f"upper bound {bound:g} for beta={max(betas):g}; reduce "
+                    "tau or raise beta",
+                    tau=tau,
+                    bound=bound,
+                    estimator=estimator,
+                )

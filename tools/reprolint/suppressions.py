@@ -1,0 +1,37 @@
+"""Inline suppression comments.
+
+Syntax (same line as the finding)::
+
+    risky_call()  # reprolint: disable=RL402
+    other_call()  # reprolint: disable=RL402,RL500
+    anything()    # reprolint: disable=all
+
+Suppressions are line-scoped on purpose: a disable comment documents —
+right where the violation sits — why the invariant does not apply, and
+cannot silently grow to cover new code the way file- or block-scoped
+pragmas do.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Set
+
+from tools.reprolint.findings import Finding
+
+_DISABLE_RE = re.compile(r"#\s*reprolint:\s*disable=([A-Za-z0-9_,\s]+)")
+
+
+def disabled_rules_on_line(line: str) -> Set[str]:
+    """Rule ids disabled by ``line``'s trailing comment (may be {'all'})."""
+    m = _DISABLE_RE.search(line)
+    if not m:
+        return set()
+    return {tok.strip() for tok in m.group(1).split(",") if tok.strip()}
+
+
+def is_suppressed(finding: Finding, lines: List[str]) -> bool:
+    if not 1 <= finding.line <= len(lines):
+        return False
+    disabled = disabled_rules_on_line(lines[finding.line - 1])
+    return "all" in disabled or finding.rule_id in disabled
