@@ -193,8 +193,16 @@ def cmd_lint(args) -> int:
         )
         return 2
     argv = list(args.paths) + ["--format", args.format]
+    if args.output:
+        argv += ["--output", args.output]
     if args.update_baseline:
         argv.append("--update-baseline")
+    if args.prune_baseline:
+        argv.append("--prune-baseline")
+    if args.fix:
+        argv.append("--fix")
+    if args.dry_run:
+        argv.append("--dry-run")
     if args.list_rules:
         argv.append("--list-rules")
     return reprolint_main(argv)
@@ -248,7 +256,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_lint.add_argument("paths", nargs="*", default=["src"],
                         help="files or directories to lint (default: src)")
-    p_lint.add_argument("--format", choices=("text", "json"), default="text")
+    p_lint.add_argument("--format", choices=("text", "json", "sarif"),
+                        default="text")
+    p_lint.add_argument("--output", default=None,
+                        help="write the report to this file instead of stdout")
+    p_lint.add_argument("--fix", action="store_true",
+                        help="apply safe auto-fixes (unused imports, broken "
+                             "__all__ entries)")
+    p_lint.add_argument("--dry-run", action="store_true",
+                        help="with --fix: print the diff, write nothing")
+    p_lint.add_argument("--prune-baseline", action="store_true",
+                        help="drop stale baseline entries and exit")
     p_lint.add_argument("--update-baseline", action="store_true",
                         help="accept current findings into the baseline")
     p_lint.add_argument("--list-rules", action="store_true",

@@ -14,7 +14,6 @@ of the ProxSVRG/ProxSARAH literature the paper builds on.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Callable
 
 import numpy as np
 

@@ -10,7 +10,7 @@ sampling [the] real-world dataset" (Fig. 1 caption).
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import Callable
 
 import numpy as np
 

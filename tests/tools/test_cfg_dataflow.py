@@ -1,0 +1,386 @@
+"""CFG construction and provenance-dataflow edge cases.
+
+These pin the control-flow semantics the RL6xx/RL7xx rules depend on:
+loop back-edges, ``while``/``else``, ``try``/``except``/``finally``,
+``with`` suites, comprehension scoping, and constant folding through
+augmented assignment.
+"""
+
+import ast
+import textwrap
+
+from tools.reprolint.cfg import build_cfg
+from tools.reprolint.dataflow import ModuleDataflow
+
+
+def parse(src: str) -> ast.Module:
+    return ast.parse(textwrap.dedent(src))
+
+
+def flow(src: str) -> "tuple[ast.Module, ModuleDataflow]":
+    tree = parse(src)
+    return tree, ModuleDataflow(tree)
+
+
+def use_arg(tree: ast.Module, nth: int = 0) -> ast.AST:
+    """The first argument of the ``nth`` call to the marker ``use(...)``."""
+    calls = sorted(
+        (
+            n
+            for n in ast.walk(tree)
+            if isinstance(n, ast.Call)
+            and isinstance(n.func, ast.Name)
+            and n.func.id == "use"
+        ),
+        key=lambda c: c.lineno,
+    )
+    return calls[nth].args[0]
+
+
+def kinds(values) -> set:
+    return {v.kind for v in values}
+
+
+def numeric(values) -> list:
+    return sorted(v.value for v in values if v.kind in ("literal", "checked"))
+
+
+def unreachable_lines(df: ModuleDataflow) -> set:
+    return {u.lineno for u in df.unreachable_units()}
+
+
+# ---------------------------------------------------------------------------
+# CFG structure
+# ---------------------------------------------------------------------------
+
+
+class TestCfgStructure:
+    def test_loop_head_has_back_edge(self):
+        tree = parse(
+            """\
+            x = 3
+            while x:
+                x = x - 1
+            done = True
+            """
+        )
+        cfg = build_cfg(tree.body)
+        [head] = [
+            b for b in cfg.blocks.values()
+            if any(isinstance(u, ast.While) for u in b.units)
+        ]
+        # Entry-side edge plus the back-edge from the loop body.
+        assert len(head.pred) >= 2
+        body_blocks = [
+            cfg.blocks[p] for p in head.pred if cfg.blocks[p].units
+            and not isinstance(cfg.blocks[p].units[0], ast.While)
+        ]
+        assert any(head.id in b.succ for b in body_blocks)
+
+    def test_for_loop_body_and_after_reachable(self):
+        tree = parse(
+            """\
+            total = 0
+            for i in items:
+                total = total + i
+            after = 1
+            """
+        )
+        df = ModuleDataflow(tree)
+        assert unreachable_lines(df) == set()
+
+    def test_rpo_starts_at_entry_and_covers_reachable(self):
+        tree = parse(
+            """\
+            a = 1
+            if a:
+                b = 2
+            else:
+                c = 3
+            d = 4
+            """
+        )
+        cfg = build_cfg(tree.body)
+        order = cfg.rpo()
+        assert order[0] == cfg.entry
+        assert set(order) == cfg.reachable()
+
+    def test_while_else_reachable(self):
+        tree = parse(
+            """\
+            n = 3
+            while n:
+                n = n - 1
+            else:
+                finished = True
+            after = 1
+            """
+        )
+        df = ModuleDataflow(tree)
+        assert unreachable_lines(df) == set()
+
+    def test_while_true_without_break_kills_fallthrough(self):
+        tree = parse(
+            """\
+            while True:
+                spin = 1
+            dead = 2
+            """
+        )
+        df = ModuleDataflow(tree)
+        assert unreachable_lines(df) == {3}
+
+    def test_while_true_with_break_falls_through(self):
+        tree = parse(
+            """\
+            while True:
+                break
+            alive = 2
+            """
+        )
+        df = ModuleDataflow(tree)
+        assert unreachable_lines(df) == set()
+
+    def test_code_after_return_unreachable(self):
+        tree = parse(
+            """\
+            def f():
+                return 1
+                dead = 2
+            """
+        )
+        df = ModuleDataflow(tree)
+        assert unreachable_lines(df) == {3}
+
+    def test_code_after_continue_unreachable(self):
+        tree = parse(
+            """\
+            for i in items:
+                continue
+                dead = 1
+            """
+        )
+        df = ModuleDataflow(tree)
+        assert unreachable_lines(df) == {3}
+
+    def test_try_handler_reachable_even_when_body_returns(self):
+        tree = parse(
+            """\
+            def f():
+                try:
+                    return work()
+                except ValueError:
+                    handled = 1
+                return handled
+            """
+        )
+        df = ModuleDataflow(tree)
+        assert unreachable_lines(df) == set()
+
+    def test_raise_in_body_and_handlers_kills_join(self):
+        tree = parse(
+            """\
+            try:
+                raise ValueError("x")
+            except KeyError:
+                raise
+            dead = 1
+            """
+        )
+        df = ModuleDataflow(tree)
+        assert unreachable_lines(df) == {5}
+
+    def test_finally_and_following_code_reachable(self):
+        tree = parse(
+            """\
+            try:
+                x = work()
+            except ValueError:
+                x = 0
+            finally:
+                y = 1
+            z = 2
+            """
+        )
+        df = ModuleDataflow(tree)
+        assert unreachable_lines(df) == set()
+
+    def test_with_body_flows_through(self):
+        tree = parse(
+            """\
+            with open(path) as fh:
+                data = fh
+            after = 1
+            """
+        )
+        df = ModuleDataflow(tree)
+        assert unreachable_lines(df) == set()
+
+    def test_return_inside_with_kills_following_code(self):
+        tree = parse(
+            """\
+            def f():
+                with open(path) as fh:
+                    return fh
+                dead = 1
+            """
+        )
+        df = ModuleDataflow(tree)
+        assert unreachable_lines(df) == {4}
+
+
+# ---------------------------------------------------------------------------
+# Provenance dataflow
+# ---------------------------------------------------------------------------
+
+
+class TestProvenance:
+    def test_augmented_assignment_folds_constants(self):
+        tree, df = flow(
+            """\
+            beta = 2.0
+            beta += 1.5
+            use(beta)
+            """
+        )
+        values = df.provenance(use_arg(tree))
+        assert kinds(values) == {"literal"}
+        assert numeric(values) == [3.5]
+
+    def test_branch_join_is_may_union(self):
+        tree, df = flow(
+            """\
+            if cond:
+                tau = 4.0
+            else:
+                tau = 6.0
+            use(tau)
+            """
+        )
+        assert numeric(df.provenance(use_arg(tree))) == [4.0, 6.0]
+
+    def test_loop_back_edge_constant_folding_terminates(self):
+        tree, df = flow(
+            """\
+            x = 0.0
+            while cond:
+                x = x + 1.0
+            use(x)
+            """
+        )
+        # The literal set grows along the back-edge until the cap
+        # collapses it to unknown; the analysis must reach a fixpoint.
+        values = df.provenance(use_arg(tree))
+        assert "unknown" in kinds(values)
+
+    def test_comprehension_target_does_not_clobber_outer_binding(self):
+        tree, df = flow(
+            """\
+            beta = 5.0
+            squares = [beta * beta for beta in range(3)]
+            use(beta)
+            """
+        )
+        assert numeric(df.provenance(use_arg(tree))) == [5.0]
+
+    def test_theory_check_upgrades_literal_to_checked(self):
+        tree, df = flow(
+            """\
+            beta = 2.0
+            lemma1_feasible(beta, 0.5)
+            use(beta)
+            """
+        )
+        values = df.provenance(use_arg(tree))
+        assert kinds(values) == {"checked"}
+        assert numeric(values) == [2.0]
+
+    def test_check_on_one_branch_only_keeps_both_facts(self):
+        tree, df = flow(
+            """\
+            beta = 2.0
+            if cond:
+                lemma1_feasible(beta, 0.5)
+            use(beta)
+            """
+        )
+        assert kinds(df.provenance(use_arg(tree))) == {"checked", "literal"}
+
+    def test_raw_default_rng_and_alias(self):
+        tree, df = flow(
+            """\
+            import numpy as np
+            rng = np.random.default_rng(7)
+            use(rng)
+            make = np.random.default_rng
+            rng2 = make(3)
+            use(rng2)
+            """
+        )
+        assert kinds(df.provenance(use_arg(tree, 0))) == {"rng_raw"}
+        assert kinds(df.provenance(use_arg(tree, 1))) == {"rng_raw"}
+
+    def test_blessed_factory_and_spawned_list_projection(self):
+        tree, df = flow(
+            """\
+            from repro.utils.rng import as_generator, spawn_generators
+            rng = as_generator(7)
+            use(rng)
+            gens = spawn_generators(7, 4)
+            g = gens[0]
+            use(g)
+            for h in gens:
+                use(h)
+            """
+        )
+        assert kinds(df.provenance(use_arg(tree, 0))) == {"rng_blessed"}
+        assert kinds(df.provenance(use_arg(tree, 1))) == {"rng_blessed"}
+        assert kinds(df.provenance(use_arg(tree, 2))) == {"rng_blessed"}
+
+    def test_function_parameters_are_param_kind(self):
+        tree, df = flow(
+            """\
+            def f(beta):
+                use(beta)
+            """
+        )
+        assert kinds(df.provenance(use_arg(tree))) == {"param"}
+
+    def test_handler_sees_both_pre_and_mid_try_values(self):
+        tree, df = flow(
+            """\
+            x = 1.0
+            try:
+                x = 2.0
+                work()
+            except ValueError:
+                use(x)
+            """
+        )
+        # Any try-body statement may raise, so the handler may observe
+        # the binding from before the try or after the re-assignment.
+        assert numeric(df.provenance(use_arg(tree))) == [1.0, 2.0]
+
+    def test_tuple_unpacking_tracks_positions(self):
+        tree, df = flow(
+            """\
+            a, b = 1.0, 2.0
+            use(a)
+            use(b)
+            """
+        )
+        assert numeric(df.provenance(use_arg(tree, 0))) == [1.0]
+        assert numeric(df.provenance(use_arg(tree, 1))) == [2.0]
+
+    def test_nested_function_scope_shadows_module(self):
+        tree, df = flow(
+            """\
+            beta = 9.0
+            def f():
+                beta = 2.0
+                use(beta)
+            use(beta)
+            """
+        )
+        assert numeric(df.provenance(use_arg(tree, 0))) == [2.0]
+        assert numeric(df.provenance(use_arg(tree, 1))) == [9.0]

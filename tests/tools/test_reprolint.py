@@ -33,13 +33,20 @@ from tools.reprolint.suppressions import disabled_rules_on_line
 REPO_ROOT = Path(__file__).resolve().parents[2]
 
 
+#: This file exercises the v1 per-file rule families in isolation; the
+#: flow/whole-program families have their own fixtures in
+#: test_reprolint_v2.py and would add noise findings (e.g. RL704 on the
+#: deliberately minimal imports) to the assertions below.
+V1_FAMILIES = ["layering", "rng", "dtype", "safety", "theory"]
+
+
 def make_tree(root: Path, files: dict) -> LintConfig:
     """Write ``{relpath: source}`` under ``root`` and return a config."""
     for rel, body in files.items():
         path = root / rel
         path.parent.mkdir(parents=True, exist_ok=True)
         path.write_text(textwrap.dedent(body), encoding="utf-8")
-    return LintConfig(root=root)
+    return LintConfig(root=root, enabled_families=list(V1_FAMILIES))
 
 
 def run_lint(root: Path, files: dict):
@@ -57,9 +64,17 @@ def rule_ids(report):
 
 
 class TestFramework:
-    def test_registry_has_all_five_families(self):
+    def test_registry_has_all_seven_families(self):
         families = {cls.family for cls in all_rules()}
-        assert families == {"layering", "rng", "dtype", "safety", "theory"}
+        assert families == {
+            "layering",
+            "rng",
+            "dtype",
+            "safety",
+            "theory",
+            "provenance",
+            "hygiene",
+        }
 
     def test_rule_ids_unique_and_documented(self):
         rules = all_rules()
@@ -567,6 +582,7 @@ def write_pyproject(root: Path) -> Path:
             [tool.reprolint]
             src-root = "src"
             baseline = "baseline.json"
+            families = ["layering", "rng", "dtype", "safety", "theory"]
             """
         )
     )
@@ -673,6 +689,7 @@ class TestConfig:
         assert config.layers["repro.core"] == 2
         assert set(config.enabled_families) == {
             "layering", "rng", "dtype", "safety", "theory",
+            "provenance", "hygiene",
         }
         assert config.layer_of("repro.core.local.proxvr") == 2
         assert config.layer_of("repro.unmapped_new_module") == 99

@@ -12,10 +12,19 @@ runtime:
 * **numerical safety** (RL4xx) — bare excepts, mutable defaults,
   unclamped log/exp and unguarded division in loss/prox code;
 * **theory contracts** (RL5xx) — literal hyperparameters violating the
-  ICPP'20 Lemma 1 (``beta > 3``, tau upper bounds).
+  ICPP'20 Lemma 1 (``beta > 3``, tau upper bounds);
+* **flow provenance** (RL6xx) — whole-program/dataflow rules: every
+  ``numpy.random.Generator`` must descend from the
+  :mod:`repro.utils.rng` lineage, and literal hyperparameters reaching
+  a FedProxVR driver must satisfy (or be runtime-checked against) the
+  Lemma 1 bounds;
+* **whole-program hygiene** (RL7xx) — import cycles, broken/dead
+  ``__all__`` exports, unreachable code, unused imports (the last two
+  auto-fixable via ``--fix``).
 
 See ``docs/LINTING.md`` for every rule, the suppression syntax
-(``# reprolint: disable=RLxxx``), and the baseline-ratchet workflow.
+(``# reprolint: disable=RLxxx``), SARIF output, ``--fix``, and the
+baseline-ratchet workflow.
 """
 
 from tools.reprolint.config import LintConfig, load_config
@@ -23,7 +32,7 @@ from tools.reprolint.engine import LintReport, lint_paths
 from tools.reprolint.findings import Finding, Severity
 from tools.reprolint.registry import all_rules
 
-__version__ = "1.0.0"
+__version__ = "2.0.0"
 
 __all__ = [
     "Finding",

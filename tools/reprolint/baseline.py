@@ -46,6 +46,29 @@ def save_baseline(path: Path, findings: Iterable[Finding]) -> Dict[str, int]:
     return entries
 
 
+def prune_baseline(path: Path, stale: Dict[str, int]) -> Dict[str, int]:
+    """Subtract ``stale`` (fingerprint -> unconsumed count) from the
+    baseline on disk; entries that reach zero disappear.  Returns the
+    surviving entries."""
+    entries = load_baseline(path)
+    pruned = {
+        fp: count - stale.get(fp, 0)
+        for fp, count in entries.items()
+        if count - stale.get(fp, 0) > 0
+    }
+    payload = {
+        "version": BASELINE_VERSION,
+        "comment": (
+            "Accepted pre-existing reprolint violations. Shrink me; "
+            "never grow me. Regenerate with --update-baseline."
+        ),
+        "entries": dict(sorted(pruned.items())),
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return pruned
+
+
 def split_by_baseline(
     findings: List[Finding], baseline: Dict[str, int]
 ) -> Tuple[List[Finding], List[Finding]]:

@@ -7,11 +7,12 @@ import sys
 from pathlib import Path
 from typing import List, Optional
 
-from tools.reprolint.baseline import save_baseline
+from tools.reprolint.baseline import prune_baseline, save_baseline
 from tools.reprolint.config import load_config
 from tools.reprolint.engine import lint_paths
+from tools.reprolint.fixes import apply_fixes, plan_fixes
 from tools.reprolint.registry import all_rules
-from tools.reprolint.reporters import render_json, render_text
+from tools.reprolint.reporters import render_json, render_sarif, render_text
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -19,14 +20,20 @@ def build_parser() -> argparse.ArgumentParser:
         prog="reprolint",
         description=(
             "AST static analysis enforcing this repository's layering, RNG, "
-            "dtype, numerical-safety, and FedProxVR theory contracts."
+            "dtype, numerical-safety, FedProxVR theory, provenance, and "
+            "whole-program hygiene contracts."
         ),
     )
     parser.add_argument(
         "paths", nargs="*", default=["src"], help="files or directories (default: src)"
     )
     parser.add_argument(
-        "--format", choices=("text", "json"), default="text", dest="fmt"
+        "--format", choices=("text", "json", "sarif"), default="text", dest="fmt"
+    )
+    parser.add_argument(
+        "--output",
+        default=None,
+        help="write the report to this file instead of stdout",
     )
     parser.add_argument(
         "--config",
@@ -42,6 +49,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="accept all current findings into the baseline and exit 0",
     )
     parser.add_argument(
+        "--prune-baseline",
+        action="store_true",
+        help="drop baseline entries no current finding consumes, then exit 0",
+    )
+    parser.add_argument(
+        "--fail-stale-baseline",
+        action="store_true",
+        help="exit non-zero when the baseline holds stale entries (CI ratchet)",
+    )
+    parser.add_argument(
+        "--fix",
+        action="store_true",
+        help="apply safe auto-fixes (unused imports, broken __all__ entries)",
+    )
+    parser.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="with --fix: print the unified diff without writing files",
+    )
+    parser.add_argument(
         "--list-rules", action="store_true", help="print every rule and exit"
     )
     parser.add_argument(
@@ -53,9 +80,13 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
 
+    if args.dry_run and not args.fix:
+        print("error: --dry-run only makes sense with --fix", file=sys.stderr)
+        return 2
+
     if args.list_rules:
         for cls in all_rules():
-            print(f"{cls.rule_id}  [{cls.family:8s}] {cls.severity.value:7s} "
+            print(f"{cls.rule_id}  [{cls.family:10s}] {cls.severity.value:7s} "
                   f"{cls.description}")
         return 0
 
@@ -76,10 +107,57 @@ def main(argv: Optional[List[str]] = None) -> int:
               f"{len(report.findings) + len(report.baselined)} finding(s))")
         return 0
 
+    if args.prune_baseline:
+        if not report.stale_baseline:
+            print("baseline is tight: no stale entries")
+            return 0
+        pruned = prune_baseline(baseline_path, report.stale_baseline)
+        print(f"baseline pruned: {baseline_path} "
+              f"(-{len(report.stale_baseline)} stale fingerprint(s), "
+              f"{len(pruned)} remain)")
+        return 0
+
+    if args.fix:
+        fixes = plan_fixes(report.findings, config)
+        changed = [fix for fix in fixes if fix.changed]
+        for fix in fixes:
+            for finding, reason in fix.skipped:
+                print(f"skip {finding.location()}: {finding.rule_id}: {reason}",
+                      file=sys.stderr)
+        if args.dry_run:
+            for fix in changed:
+                sys.stdout.write(fix.diff())
+            print(f"would fix {sum(len(f.applied) for f in changed)} finding(s) "
+                  f"in {len(changed)} file(s) (dry run; nothing written)")
+            return 0
+        written = apply_fixes(fixes)
+        print(f"fixed {sum(len(f.applied) for f in changed)} finding(s) "
+              f"in {written} file(s)")
+        # Re-lint so the report and exit code describe the post-fix tree.
+        report = lint_paths(paths, config, baseline_path=baseline_path)
+
     if args.fmt == "json":
-        print(render_json(report))
+        rendered = render_json(report)
+    elif args.fmt == "sarif":
+        rendered = render_sarif(report)
     else:
-        print(render_text(report, verbose=args.verbose))
+        rendered = render_text(report, verbose=args.verbose)
+    if args.output:
+        out = Path(args.output)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(rendered + "\n", encoding="utf-8")
+        print(f"report written: {out}")
+    else:
+        print(rendered)
+
+    if args.fail_stale_baseline and report.stale_baseline:
+        print(
+            f"error: {len(report.stale_baseline)} stale baseline entr"
+            f"{'y' if len(report.stale_baseline) == 1 else 'ies'}; "
+            "run --prune-baseline and commit the result",
+            file=sys.stderr,
+        )
+        return 1
     return report.exit_code
 
 

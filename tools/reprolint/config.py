@@ -53,7 +53,48 @@ DEFAULT_NUMERIC_MODULES = [
     "repro.core.local",
     "repro.models",
 ]
-ALL_FAMILIES = ("layering", "rng", "dtype", "safety", "theory")
+
+#: Modules allowed to call ``numpy.random.default_rng`` directly: the
+#: single blessed origin of every Generator lineage (RL600).
+DEFAULT_RNG_MODULES = ["repro.utils.rng"]
+
+#: Factory functions whose results carry the blessed lineage.
+DEFAULT_RNG_FACTORIES = [
+    "as_generator",
+    "spawn_generators",
+    "spawn_seeds",
+    "derive_generator",
+]
+
+#: FedProxVR-family constructors/drivers whose ``beta``/``mu``/``tau``
+#: keywords RL601 tracks through dataflow.
+DEFAULT_DRIVER_CALLABLES = [
+    "FederatedRunConfig",
+    "run_federated",
+    "make_local_solver",
+    "run_fsvrg",
+    "random_search",
+    "compare_algorithms",
+]
+
+#: ``repro.core.theory`` entry points that validate hyperparameters at
+#: runtime; passing a literal through one counts as a bound check.
+DEFAULT_THEORY_CHECKS = [
+    "lemma1_feasible",
+    "tau_lower_bound",
+    "tau_upper_bound_sarah",
+    "tau_upper_bound_svrg",
+    "beta_min",
+    "tau_star_sarah",
+    "theta_from_beta",
+    "federated_factor",
+    "global_iterations_required",
+    "stationarity_bound",
+]
+
+ALL_FAMILIES = (
+    "layering", "rng", "dtype", "safety", "theory", "provenance", "hygiene",
+)
 
 
 @dataclass
@@ -69,6 +110,16 @@ class LintConfig:
     dtype_modules: List[str] = field(default_factory=lambda: list(DEFAULT_DTYPE_MODULES))
     numeric_modules: List[str] = field(
         default_factory=lambda: list(DEFAULT_NUMERIC_MODULES)
+    )
+    rng_modules: List[str] = field(default_factory=lambda: list(DEFAULT_RNG_MODULES))
+    rng_factories: List[str] = field(
+        default_factory=lambda: list(DEFAULT_RNG_FACTORIES)
+    )
+    driver_callables: List[str] = field(
+        default_factory=lambda: list(DEFAULT_DRIVER_CALLABLES)
+    )
+    theory_check_functions: List[str] = field(
+        default_factory=lambda: list(DEFAULT_THEORY_CHECKS)
     )
     severity_overrides: Dict[str, Severity] = field(default_factory=dict)
 
@@ -213,6 +264,16 @@ def load_config(pyproject: Optional[Path] = None) -> LintConfig:
         cfg.dtype_modules = [str(v) for v in section["dtype-modules"]]
     if "numeric-modules" in section:
         cfg.numeric_modules = [str(v) for v in section["numeric-modules"]]
+    if "rng-modules" in section:
+        cfg.rng_modules = [str(v) for v in section["rng-modules"]]
+    if "rng-factories" in section:
+        cfg.rng_factories = [str(v) for v in section["rng-factories"]]
+    if "driver-callables" in section:
+        cfg.driver_callables = [str(v) for v in section["driver-callables"]]
+    if "theory-check-functions" in section:
+        cfg.theory_check_functions = [
+            str(v) for v in section["theory-check-functions"]
+        ]
     layers = section.get("layers")
     if isinstance(layers, dict) and layers:
         cfg.layers = {str(k): int(v) for k, v in layers.items()}

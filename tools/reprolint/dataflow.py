@@ -1,0 +1,509 @@
+"""Forward value-provenance dataflow over the reprolint CFG.
+
+A small abstract domain tracks where values *come from*, which is what
+the RL6xx rules need to ask:
+
+* ``literal``  — a numeric literal (constant-folded through ``+ - * /``
+  and ``**`` and through augmented assignment), carrying its value;
+* ``checked``  — a literal that has since been passed through a
+  :mod:`repro.core.theory` bound-check call, carrying the same value;
+* ``rng_raw``  — the result of calling ``numpy.random.default_rng``
+  directly (outside the blessed ``repro.utils.rng`` lineage);
+* ``rng_raw_factory`` — a reference to ``numpy.random.default_rng``
+  itself (calling it later yields ``rng_raw``);
+* ``rng_blessed`` — a Generator/SeedSequence obtained from
+  ``repro.utils.rng`` (``as_generator`` / ``spawn_generators`` /
+  ``spawn_seeds`` / ``derive_generator``), including elements obtained
+  by subscripting or iterating the spawned list;
+* ``param``    — a function parameter (the caller's responsibility);
+* ``unknown``  — everything else.
+
+The analysis is a may-analysis (join = set union) run to fixpoint per
+scope (module body and each function body, including nested functions).
+Comprehension targets bind in their own scope in Python 3 and are
+deliberately *not* modelled, so a comprehension variable never clobbers
+an outer variable's provenance.  Literal sets are capped to keep loop
+constant-folding finite.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from tools.reprolint.asthelpers import NumpyAliases
+from tools.reprolint.cfg import CFG, build_cfg
+
+#: Functions whose result carries the blessed RNG lineage.
+RNG_BLESSED_FACTORIES = (
+    "as_generator",
+    "spawn_generators",
+    "spawn_seeds",
+    "derive_generator",
+)
+
+#: repro.core.theory entry points that validate hyperparameters at
+#: runtime; a literal passed through any of these counts as checked.
+THEORY_CHECK_FUNCTIONS = (
+    "lemma1_feasible",
+    "tau_lower_bound",
+    "tau_upper_bound_sarah",
+    "tau_upper_bound_svrg",
+    "beta_min",
+    "tau_star_sarah",
+    "theta_from_beta",
+    "federated_factor",
+    "global_iterations_required",
+    "stationarity_bound",
+)
+
+#: Cap on distinct literal values per variable before collapsing to
+#: ``unknown`` (keeps loop constant-folding from diverging).
+_LITERAL_CAP = 8
+
+_MAX_ITERATIONS = 64
+
+
+@dataclass(frozen=True)
+class AbstractValue:
+    """One provenance fact about a value."""
+
+    kind: str
+    value: Optional[float] = None
+    origin_line: int = 0
+
+    def is_literal(self) -> bool:
+        return self.kind == "literal"
+
+
+UNKNOWN = AbstractValue("unknown")
+
+Env = Dict[str, FrozenSet[AbstractValue]]
+ValueSet = FrozenSet[AbstractValue]
+
+_UNKNOWN_SET: ValueSet = frozenset({UNKNOWN})
+
+
+def _cap(values: Iterable[AbstractValue]) -> ValueSet:
+    vals = set(values)
+    literals = [v for v in vals if v.is_literal()]
+    if len(literals) > _LITERAL_CAP:
+        vals -= set(literals)
+        vals.add(UNKNOWN)
+    return frozenset(vals)
+
+
+def join_envs(envs: Sequence[Env]) -> Env:
+    out: Dict[str, Set[AbstractValue]] = {}
+    for env in envs:
+        for name, vals in env.items():
+            out.setdefault(name, set()).update(vals)
+    return {name: _cap(vals) for name, vals in out.items()}
+
+
+def _terminal_name(func: ast.AST) -> Optional[str]:
+    """``f`` for ``f(...)``, ``m.f`` or ``pkg.m.f`` — the called name."""
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+class ScopeAnalysis:
+    """Fixed-point provenance analysis of one scope."""
+
+    def __init__(
+        self,
+        body: List[ast.stmt],
+        aliases: NumpyAliases,
+        *,
+        scope_node: Optional[ast.AST] = None,
+        blessed_factories: Tuple[str, ...] = RNG_BLESSED_FACTORIES,
+        theory_checks: Tuple[str, ...] = THEORY_CHECK_FUNCTIONS,
+    ) -> None:
+        self.scope_node = scope_node
+        self.cfg: CFG = build_cfg(body)
+        self._aliases = aliases
+        self._blessed = set(blessed_factories)
+        self._checks = set(theory_checks)
+        self._env_before_unit: Dict[int, Env] = {}
+        self._unit_of_node: Dict[int, ast.stmt] = {}
+        self._solve(self._initial_env())
+        self._index_units()
+
+    # -- public query API --------------------------------------------------
+
+    def env_before(self, unit: ast.stmt) -> Env:
+        return self._env_before_unit.get(id(unit), {})
+
+    def enclosing_unit(self, node: ast.AST) -> Optional[ast.stmt]:
+        return self._unit_of_node.get(id(node))
+
+    def provenance(self, expr: ast.AST) -> ValueSet:
+        """Abstract value of ``expr`` at its program point.
+
+        ``expr`` must live inside one of this scope's units (headers of
+        compound statements included); returns ``{unknown}`` otherwise.
+        """
+        unit = self.enclosing_unit(expr)
+        if unit is None:
+            return _UNKNOWN_SET
+        return self.eval(expr, self.env_before(unit))
+
+    # -- construction ------------------------------------------------------
+
+    def _initial_env(self) -> Env:
+        env: Env = {}
+        if isinstance(
+            self.scope_node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+        ):
+            args = self.scope_node.args
+            names = [a.arg for a in args.posonlyargs + args.args + args.kwonlyargs]
+            if args.vararg:
+                names.append(args.vararg.arg)
+            if args.kwarg:
+                names.append(args.kwarg.arg)
+            lineno = getattr(self.scope_node, "lineno", 0)
+            for name in names:
+                env[name] = frozenset({AbstractValue("param", origin_line=lineno)})
+        return env
+
+    @staticmethod
+    def _header_nodes(unit: ast.stmt) -> List[ast.AST]:
+        """The sub-nodes that evaluate *at* this unit's program point.
+
+        For simple statements that is the whole statement; for compound
+        headers only the condition/iterable/context expressions (their
+        bodies execute in other blocks, nested defs in other scopes).
+        """
+        if isinstance(unit, (ast.If, ast.While)):
+            return [unit.test]
+        if isinstance(unit, (ast.For, ast.AsyncFor)):
+            return [unit.iter, unit.target]
+        if isinstance(unit, (ast.With, ast.AsyncWith)):
+            return list(unit.items)
+        if isinstance(unit, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            nodes: List[ast.AST] = list(unit.decorator_list)
+            if hasattr(unit, "args"):
+                nodes += list(unit.args.defaults)
+                nodes += [d for d in unit.args.kw_defaults if d is not None]
+            return nodes
+        if isinstance(unit, ast.ExceptHandler):
+            return [unit.type] if unit.type else []
+        return [unit]
+
+    def _index_units(self) -> None:
+        for block in self.cfg.blocks.values():
+            for unit in block.units:
+                for node in self._header_nodes(unit):
+                    for sub in ast.walk(node):
+                        self._unit_of_node.setdefault(id(sub), unit)
+
+    def _solve(self, initial: Env) -> None:
+        in_env: Dict[int, Env] = {self.cfg.entry: initial}
+        out_env: Dict[int, Env] = {}
+        order = self.cfg.rpo()
+        for _ in range(_MAX_ITERATIONS):
+            changed = False
+            for bid in order:
+                block = self.cfg.blocks[bid]
+                preds = [out_env[p] for p in block.pred if p in out_env]
+                if bid == self.cfg.entry:
+                    preds = preds + [initial]
+                env = join_envs(preds) if preds else {}
+                in_env[bid] = env
+                env = dict(env)
+                for unit in block.units:
+                    self._env_before_unit[id(unit)] = dict(env)
+                    env = self._transfer(unit, env)
+                if out_env.get(bid) != env:
+                    out_env[bid] = env
+                    changed = True
+            if not changed:
+                break
+        # Units in unreachable blocks still deserve an (empty) entry.
+        for block in self.cfg.blocks.values():
+            for unit in block.units:
+                self._env_before_unit.setdefault(id(unit), {})
+
+    # -- transfer functions ------------------------------------------------
+
+    def _transfer(self, unit: ast.stmt, env: Env) -> Env:
+        env = dict(env)
+        # Any theory-check call anywhere in the unit upgrades the literal
+        # provenance of its Name arguments: the runtime check now governs.
+        self._apply_theory_checks(unit, env)
+
+        if isinstance(unit, ast.Assign):
+            values = self.eval(unit.value, env)
+            for target in unit.targets:
+                self._bind_target(target, unit.value, values, env)
+        elif isinstance(unit, ast.AnnAssign) and unit.value is not None:
+            values = self.eval(unit.value, env)
+            self._bind_target(unit.target, unit.value, values, env)
+        elif isinstance(unit, ast.AugAssign):
+            folded = self._eval_binop_sets(
+                self.eval(unit.target, env), self.eval(unit.value, env), unit.op,
+                getattr(unit, "lineno", 0),
+            )
+            if isinstance(unit.target, ast.Name):
+                env[unit.target.id] = folded
+        elif isinstance(unit, (ast.For, ast.AsyncFor)):
+            self._bind_target(
+                unit.target, unit.iter, self._eval_iteration(unit.iter, env), env
+            )
+        elif isinstance(unit, (ast.With, ast.AsyncWith)):
+            for item in unit.items:
+                if item.optional_vars is not None:
+                    self._bind_target(
+                        item.optional_vars,
+                        item.context_expr,
+                        self.eval(item.context_expr, env),
+                        env,
+                    )
+        elif isinstance(unit, ast.ExceptHandler):
+            if unit.name:
+                env[unit.name] = _UNKNOWN_SET
+        elif isinstance(unit, (ast.Import, ast.ImportFrom)):
+            for alias in unit.names:
+                binding = (alias.asname or alias.name).split(".")[0]
+                env[binding] = _UNKNOWN_SET
+        elif isinstance(unit, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            env[unit.name] = _UNKNOWN_SET
+        elif isinstance(unit, (ast.Delete,)):
+            for target in unit.targets:
+                if isinstance(target, ast.Name):
+                    env.pop(target.id, None)
+        return env
+
+    def _bind_target(
+        self, target: ast.AST, value_expr: ast.AST, values: ValueSet, env: Env
+    ) -> None:
+        if isinstance(target, ast.Name):
+            env[target.id] = values
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            if isinstance(value_expr, (ast.Tuple, ast.List)) and len(
+                value_expr.elts
+            ) == len(target.elts):
+                for t, v in zip(target.elts, value_expr.elts):
+                    self._bind_target(t, v, self.eval(v, env), env)
+            else:
+                # Unpacking an opaque value: element provenance only
+                # survives for the RNG kinds (list-of-generators idiom).
+                element = self._project_elements(values)
+                for t in target.elts:
+                    self._bind_target(t, value_expr, element, env)
+        # Attribute/Subscript stores: no tracked heap, drop silently.
+
+    def _apply_theory_checks(self, unit: ast.stmt, env: Env) -> None:
+        for header in self._header_nodes(unit):
+            for node in ast.walk(header):
+                if not isinstance(node, ast.Call):
+                    continue
+                self._apply_one_check(node, env)
+
+    def _apply_one_check(self, node: ast.Call, env: Env) -> None:
+        if _terminal_name(node.func) not in self._checks:
+            return
+        arg_names = [a.id for a in node.args if isinstance(a, ast.Name)]
+        arg_names += [
+            kw.value.id
+            for kw in node.keywords
+            if kw.arg is not None and isinstance(kw.value, ast.Name)
+        ]
+        line = getattr(node, "lineno", 0)
+        for name in arg_names:
+            if name in env:
+                env[name] = frozenset(
+                    AbstractValue("checked", v.value, line) if v.is_literal() else v
+                    for v in env[name]
+                )
+
+    # -- abstract expression evaluation ------------------------------------
+
+    def eval(self, expr: ast.AST, env: Env) -> ValueSet:
+        if isinstance(expr, ast.Constant):
+            if isinstance(expr.value, bool) or not isinstance(
+                expr.value, (int, float)
+            ):
+                return _UNKNOWN_SET
+            return frozenset(
+                {AbstractValue("literal", float(expr.value), expr.lineno)}
+            )
+        if isinstance(expr, ast.UnaryOp) and isinstance(
+            expr.op, (ast.USub, ast.UAdd)
+        ):
+            inner = self.eval(expr.operand, env)
+            sign = -1.0 if isinstance(expr.op, ast.USub) else 1.0
+            return _cap(
+                AbstractValue("literal", sign * v.value, v.origin_line)
+                if v.is_literal() and v.value is not None
+                else UNKNOWN
+                for v in inner
+            )
+        if isinstance(expr, ast.BinOp):
+            return self._eval_binop_sets(
+                self.eval(expr.left, env),
+                self.eval(expr.right, env),
+                expr.op,
+                getattr(expr, "lineno", 0),
+            )
+        if isinstance(expr, ast.Name):
+            return env.get(expr.id, _UNKNOWN_SET)
+        if isinstance(expr, ast.Call):
+            return self._eval_call(expr, env)
+        if isinstance(expr, ast.Attribute):
+            if self._aliases.random_member(expr) == "default_rng":
+                return frozenset(
+                    {AbstractValue("rng_raw_factory", origin_line=expr.lineno)}
+                )
+            return _UNKNOWN_SET
+        if isinstance(expr, ast.Subscript):
+            return self._project_elements(self.eval(expr.value, env))
+        if isinstance(expr, ast.Starred):
+            return self.eval(expr.value, env)
+        if isinstance(expr, ast.IfExp):
+            return _cap(
+                set(self.eval(expr.body, env)) | set(self.eval(expr.orelse, env))
+            )
+        if isinstance(expr, (ast.Tuple, ast.List, ast.Set)):
+            # Containers: provenance of the *elements*, so that a list of
+            # spawned generators keeps the blessed lineage through
+            # subscripting/iteration.
+            merged: Set[AbstractValue] = set()
+            for elt in expr.elts:
+                merged |= set(self.eval(elt, env))
+            return _cap(merged) if merged else _UNKNOWN_SET
+        return _UNKNOWN_SET
+
+    def _eval_call(self, call: ast.Call, env: Env) -> ValueSet:
+        if self._aliases.random_member(call.func) == "default_rng":
+            return frozenset({AbstractValue("rng_raw", origin_line=call.lineno)})
+        name = _terminal_name(call.func)
+        if name in self._blessed:
+            return frozenset({AbstractValue("rng_blessed", origin_line=call.lineno)})
+        if isinstance(call.func, ast.Name):
+            callee = env.get(call.func.id, frozenset())
+            if any(v.kind == "rng_raw_factory" for v in callee):
+                return frozenset(
+                    {AbstractValue("rng_raw", origin_line=call.lineno)}
+                )
+        return _UNKNOWN_SET
+
+    def _eval_iteration(self, iterable: ast.AST, env: Env) -> ValueSet:
+        if isinstance(iterable, (ast.Tuple, ast.List, ast.Set)):
+            merged: Set[AbstractValue] = set()
+            for elt in iterable.elts:
+                merged |= set(self.eval(elt, env))
+            return _cap(merged) if merged else _UNKNOWN_SET
+        return self._project_elements(self.eval(iterable, env))
+
+    @staticmethod
+    def _project_elements(values: ValueSet) -> ValueSet:
+        """Element provenance when subscripting/iterating ``values``.
+
+        Only the RNG kinds survive projection (the spawned-list idiom);
+        a subscripted literal or unknown yields unknown.
+        """
+        kept = {v for v in values if v.kind in ("rng_raw", "rng_blessed")}
+        return frozenset(kept) if kept else _UNKNOWN_SET
+
+    def _eval_binop_sets(
+        self, left: ValueSet, right: ValueSet, op: ast.operator, lineno: int
+    ) -> ValueSet:
+        out: Set[AbstractValue] = set()
+        for lv in left:
+            for rv in right:
+                if (
+                    lv.is_literal()
+                    and rv.is_literal()
+                    and lv.value is not None
+                    and rv.value is not None
+                ):
+                    folded = _fold(lv.value, rv.value, op)
+                    out.add(
+                        AbstractValue("literal", folded, lineno)
+                        if folded is not None
+                        else UNKNOWN
+                    )
+                else:
+                    out.add(UNKNOWN)
+        return _cap(out) if out else _UNKNOWN_SET
+
+
+def _fold(a: float, b: float, op: ast.operator) -> Optional[float]:
+    try:
+        if isinstance(op, ast.Add):
+            return a + b
+        if isinstance(op, ast.Sub):
+            return a - b
+        if isinstance(op, ast.Mult):
+            return a * b
+        if isinstance(op, ast.Div):
+            return a / b
+        if isinstance(op, ast.FloorDiv):
+            return float(a // b)
+        if isinstance(op, ast.Pow):
+            return float(a**b)
+        if isinstance(op, ast.Mod):
+            return float(a % b)
+    except (ZeroDivisionError, OverflowError, ValueError):
+        return None
+    return None
+
+
+class ModuleDataflow:
+    """Provenance analyses for every scope of one module.
+
+    Built lazily by :meth:`FileContext.dataflow`; rules query
+    :meth:`provenance` with any expression node from the module tree.
+    """
+
+    def __init__(
+        self,
+        tree: ast.AST,
+        *,
+        blessed_factories: Tuple[str, ...] = RNG_BLESSED_FACTORIES,
+        theory_checks: Tuple[str, ...] = THEORY_CHECK_FUNCTIONS,
+    ) -> None:
+        aliases = NumpyAliases(tree)
+        self.scopes: List[ScopeAnalysis] = []
+        bodies: List[Tuple[Optional[ast.AST], List[ast.stmt]]] = [(None, tree.body)]
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                bodies.append((node, node.body))
+        for scope_node, body in bodies:
+            self.scopes.append(
+                ScopeAnalysis(
+                    body,
+                    aliases,
+                    scope_node=scope_node,
+                    blessed_factories=blessed_factories,
+                    theory_checks=theory_checks,
+                )
+            )
+
+    def provenance(self, expr: ast.AST) -> ValueSet:
+        """Provenance of ``expr`` in whichever scope contains it."""
+        # Innermost scope wins: scan in reverse discovery order so a
+        # nested function shadows the module-level mapping.
+        for scope in reversed(self.scopes):
+            unit = scope.enclosing_unit(expr)
+            if unit is not None:
+                return scope.eval(expr, scope.env_before(unit))
+        return _UNKNOWN_SET
+
+    def unreachable_units(self) -> List[ast.stmt]:
+        out: List[ast.stmt] = []
+        for scope in self.scopes:
+            out.extend(scope.cfg.unreachable_units())
+        return out
+
+    def unreachable_blocks(self) -> List[List[ast.stmt]]:
+        """Unreachable units grouped by straight-line region across scopes."""
+        out: List[List[ast.stmt]] = []
+        for scope in self.scopes:
+            out.extend(scope.cfg.unreachable_blocks())
+        return out

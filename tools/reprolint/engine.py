@@ -1,8 +1,25 @@
-"""File discovery, rule execution, suppression and baseline filtering."""
+"""File discovery, project indexing, rule execution, and filtering.
+
+The engine runs in two phases:
+
+1. **Index** — every target file is read and parsed once; files under
+   ``<root>/<src_root>`` (the ones with a dotted module identity) are
+   folded into a :class:`~tools.reprolint.projectindex.ProjectIndex`
+   holding symbol tables, the resolved import graph, export usage, and
+   a best-effort call graph.
+2. **Rules** — each file's rules run against its cached tree with the
+   shared index (and a lazily built per-file dataflow analysis) exposed
+   through :class:`~tools.reprolint.registry.FileContext`.
+
+Findings then pass through statement-scoped suppressions and the
+committed baseline; baseline fingerprints that no finding consumed are
+reported as *stale* so the ratchet only ever shrinks.
+"""
 
 from __future__ import annotations
 
 import ast
+from collections import Counter
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
@@ -10,8 +27,9 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 from tools.reprolint.baseline import load_baseline, split_by_baseline
 from tools.reprolint.config import LintConfig
 from tools.reprolint.findings import Finding, Severity, sort_findings
+from tools.reprolint.projectindex import ProjectIndex
 from tools.reprolint.registry import FileContext, active_rules
-from tools.reprolint.suppressions import is_suppressed
+from tools.reprolint.suppressions import SuppressionIndex
 
 _SKIP_DIRS = {"__pycache__", ".git", ".hypothesis", ".pytest_cache", "build", "dist"}
 
@@ -24,6 +42,10 @@ class LintReport:
     baselined: List[Finding] = field(default_factory=list)
     suppressed_count: int = 0
     files_checked: int = 0
+    #: Baseline fingerprints (and their unconsumed counts) that matched
+    #: no current finding — stale entries the ratchet should drop.
+    stale_baseline: Dict[str, int] = field(default_factory=dict)
+    index: Optional[ProjectIndex] = None
 
     @property
     def gating(self) -> List[Finding]:
@@ -76,44 +98,88 @@ def display_path(path: Path, config: LintConfig) -> str:
         return str(path)
 
 
-def lint_file(path: Path, config: LintConfig) -> Tuple[List[Finding], int]:
-    """Lint one file; returns ``(findings, suppressed_count)``."""
+@dataclass
+class ParsedFile:
+    """One target file after the parse phase."""
+
+    path: Path
+    display_path: str
+    module_name: Optional[str]
+    source: str
+    lines: List[str]
+    tree: Optional[ast.AST]
+    syntax_finding: Optional[Finding] = None
+
+
+def _parse_file(path: Path, config: LintConfig) -> ParsedFile:
     source = path.read_text(encoding="utf-8")
     lines = source.splitlines()
     shown = display_path(path, config)
+    module_name = module_name_for(path, config)
     try:
         tree = ast.parse(source, filename=str(path))
     except SyntaxError as exc:
         bad_line = (
             lines[exc.lineno - 1] if exc.lineno and exc.lineno <= len(lines) else ""
         )
-        return (
-            [
-                Finding(
-                    rule_id="RL000",
-                    message=f"syntax error: {exc.msg}",
-                    path=shown,
-                    line=exc.lineno or 1,
-                    col=exc.offset or 0,
-                    severity=Severity.ERROR,
-                    source_line=bad_line,
-                )
-            ],
-            0,
+        return ParsedFile(
+            path,
+            shown,
+            module_name,
+            source,
+            lines,
+            None,
+            Finding(
+                rule_id="RL000",
+                message=f"syntax error: {exc.msg}",
+                path=shown,
+                line=exc.lineno or 1,
+                col=exc.offset or 0,
+                severity=Severity.ERROR,
+                source_line=bad_line,
+            ),
         )
+    return ParsedFile(path, shown, module_name, source, lines, tree)
+
+
+def build_index(parsed: Sequence[ParsedFile]) -> ProjectIndex:
+    """Phase-1 output: the whole-program index over src-tree files."""
+    return ProjectIndex.build(
+        [
+            (p.path, p.display_path, p.module_name, p.tree)
+            for p in parsed
+            if p.module_name is not None and p.tree is not None
+        ]
+    )
+
+
+def _check_parsed(
+    parsed: ParsedFile, config: LintConfig, index: Optional[ProjectIndex]
+) -> Tuple[List[Finding], int]:
+    if parsed.tree is None:
+        return [parsed.syntax_finding] if parsed.syntax_finding else [], 0
     ctx = FileContext(
-        path=path,
-        display_path=shown,
-        module_name=module_name_for(path, config),
-        source=source,
-        lines=lines,
+        path=parsed.path,
+        display_path=parsed.display_path,
+        module_name=parsed.module_name,
+        source=parsed.source,
+        lines=parsed.lines,
         config=config,
+        tree=parsed.tree,
+        index=index,
     )
     findings: List[Finding] = []
     for rule in active_rules(config):
-        findings.extend(rule.check(tree, ctx))
-    kept = [f for f in findings if not is_suppressed(f, lines)]
+        findings.extend(rule.check(parsed.tree, ctx))
+    suppressions = SuppressionIndex(parsed.lines, parsed.tree)
+    kept = [f for f in findings if not suppressions.is_suppressed(f)]
     return kept, len(findings) - len(kept)
+
+
+def lint_file(path: Path, config: LintConfig) -> Tuple[List[Finding], int]:
+    """Lint one file standalone (no project index); returns
+    ``(findings, suppressed_count)``."""
+    return _check_parsed(_parse_file(path, config), config, None)
 
 
 def lint_paths(
@@ -124,9 +190,14 @@ def lint_paths(
 ) -> LintReport:
     """Lint every Python file under ``paths`` and apply the baseline."""
     report = LintReport()
+    parsed_files = [
+        _parse_file(path, config) for path in iter_python_files([Path(p) for p in paths])
+    ]
+    index = build_index(parsed_files)
+    report.index = index
     raw: List[Finding] = []
-    for path in iter_python_files([Path(p) for p in paths]):
-        file_findings, suppressed = lint_file(path, config)
+    for parsed in parsed_files:
+        file_findings, suppressed = _check_parsed(parsed, config, index)
         report.files_checked += 1
         report.suppressed_count += suppressed
         raw.extend(file_findings)
@@ -136,4 +207,10 @@ def lint_paths(
     new, matched = split_by_baseline(sort_findings(raw), baseline)
     report.findings = new
     report.baselined = matched
+    consumed = Counter(f.fingerprint() for f in matched)
+    report.stale_baseline = {
+        fp: count - consumed.get(fp, 0)
+        for fp, count in sorted(baseline.items())
+        if count - consumed.get(fp, 0) > 0
+    }
     return report

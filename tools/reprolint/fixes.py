@@ -1,0 +1,257 @@
+"""Auto-fixes for mechanically safe findings (``--fix``).
+
+Only two finding kinds are fixable, both marked by their rule with
+``extra["fixable"]``:
+
+* ``remove_import`` (RL704) — drop an unused import binding;
+* ``prune_export`` (RL701) — drop an ``__all__`` entry that names
+  nothing in the module.
+
+Safety model
+------------
+Fixes are planned as whole-statement line-span replacements and applied
+bottom-up so earlier spans stay valid.  A fix is *skipped* (never
+half-applied) when anything makes pure statement surgery unsafe: a
+comment inside the span, several statements sharing a line, or a parent
+block that deletion would leave empty.  After editing, the result must
+re-parse; a file whose fixed text fails ``ast.parse`` is abandoned
+untouched.  Fixing is idempotent — a second ``--fix`` run plans zero
+edits — and removing dead bindings / dead ``__all__`` strings cannot
+change runtime behaviour of code that was importable to begin with.
+"""
+
+from __future__ import annotations
+
+import ast
+import difflib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from tools.reprolint.config import LintConfig
+from tools.reprolint.findings import Finding
+
+#: ``extra["fixable"]`` values this module knows how to apply.
+FIXABLE_KINDS = ("remove_import", "prune_export")
+
+
+@dataclass
+class FileFix:
+    """Planned (or applied) edits for one file."""
+
+    path: Path
+    display_path: str
+    original: str
+    fixed: str
+    applied: List[Finding] = field(default_factory=list)
+    skipped: List[Tuple[Finding, str]] = field(default_factory=list)
+
+    @property
+    def changed(self) -> bool:
+        return self.fixed != self.original
+
+    def diff(self) -> str:
+        return "".join(
+            difflib.unified_diff(
+                self.original.splitlines(keepends=True),
+                self.fixed.splitlines(keepends=True),
+                fromfile=f"a/{self.display_path}",
+                tofile=f"b/{self.display_path}",
+            )
+        )
+
+
+def plan_fixes(findings: Sequence[Finding], config: LintConfig) -> List[FileFix]:
+    """Pure planning pass: group fixable findings per file and compute
+    each file's fixed text.  Nothing is written to disk."""
+    by_file: Dict[str, List[Finding]] = {}
+    for f in findings:
+        if f.extra.get("fixable") in FIXABLE_KINDS:
+            by_file.setdefault(f.path, []).append(f)
+    fixes: List[FileFix] = []
+    for display_path in sorted(by_file):
+        path = (config.root / display_path).resolve()
+        fixes.append(_plan_file(path, display_path, by_file[display_path]))
+    return fixes
+
+
+def apply_fixes(fixes: Sequence[FileFix]) -> int:
+    """Write every changed file; returns the number of files written."""
+    written = 0
+    for fix in fixes:
+        if fix.changed:
+            fix.path.write_text(fix.fixed, encoding="utf-8")
+            written += 1
+    return written
+
+
+# -- per-file planning -----------------------------------------------------
+
+
+def _plan_file(path: Path, display_path: str, findings: List[Finding]) -> FileFix:
+    source = path.read_text(encoding="utf-8")
+    fix = FileFix(path=path, display_path=display_path, original=source, fixed=source)
+    try:
+        tree = ast.parse(source)
+    except SyntaxError:
+        fix.skipped = [(f, "file does not parse") for f in findings]
+        return fix
+    lines = source.splitlines()
+    stmt_starts = _statement_start_lines(tree)
+    parent_bodies = _parent_bodies(tree)
+
+    # Group findings by the statement they edit so one statement with
+    # several dead bindings/exports is rewritten exactly once.
+    edits: List[Tuple[int, int, List[str]]] = []
+    by_stmt: Dict[int, Tuple[ast.stmt, List[Finding]]] = {}
+    for finding in findings:
+        stmt = _owning_statement(tree, finding)
+        if stmt is None:
+            fix.skipped.append((finding, "no matching statement at this line"))
+            continue
+        by_stmt.setdefault(id(stmt), (stmt, []))[1].append(finding)
+
+    for stmt, stmt_findings in by_stmt.values():
+        start, end = stmt.lineno, stmt.end_lineno or stmt.lineno
+        reason = _span_unsafe(lines, stmt_starts, start, end)
+        if reason is not None:
+            fix.skipped.extend((f, reason) for f in stmt_findings)
+            continue
+        replacement = _rewrite_statement(stmt, stmt_findings, lines)
+        if replacement is None:
+            fix.skipped.extend((f, "statement form not supported") for f in stmt_findings)
+            continue
+        if replacement == [] and len(parent_bodies.get(id(stmt), [stmt])) == 1:
+            fix.skipped.extend(
+                (f, "sole statement of its block; deletion would empty the suite")
+                for f in stmt_findings
+            )
+            continue
+        edits.append((start, end, replacement))
+        fix.applied.extend(stmt_findings)
+
+    if not edits:
+        return fix
+
+    # Bottom-up application keeps earlier spans' line numbers valid.
+    new_lines = list(lines)
+    for start, end, replacement in sorted(edits, reverse=True):
+        new_lines[start - 1 : end] = replacement
+    fixed = "\n".join(new_lines)
+    if source.endswith("\n"):
+        fixed += "\n"
+    try:
+        ast.parse(fixed)
+    except SyntaxError:
+        fix.skipped.extend(
+            (f, "fix would break the file; abandoned") for f in fix.applied
+        )
+        fix.applied = []
+        return fix
+    fix.fixed = fixed
+    return fix
+
+
+def _parent_bodies(tree: ast.AST) -> Dict[int, List[ast.stmt]]:
+    """id(stmt) -> the body list containing it (for empty-suite checks)."""
+    out: Dict[int, List[ast.stmt]] = {}
+    for node in ast.walk(tree):
+        for attr in ("body", "orelse", "finalbody"):
+            body = getattr(node, attr, None)
+            if isinstance(body, list):
+                for child in body:
+                    if isinstance(child, ast.stmt):
+                        out[id(child)] = body
+    return out
+
+
+def _statement_start_lines(tree: ast.AST) -> Dict[int, int]:
+    """line -> number of statements starting on it (semicolon detection)."""
+    counts: Dict[int, int] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.stmt):
+            counts[node.lineno] = counts.get(node.lineno, 0) + 1
+    return counts
+
+
+def _span_unsafe(
+    lines: List[str], stmt_starts: Dict[int, int], start: int, end: int
+) -> Optional[str]:
+    for line_no in range(start, end + 1):
+        text = lines[line_no - 1] if line_no <= len(lines) else ""
+        if "#" in text:
+            return "comment inside the statement span; fix it manually"
+        if stmt_starts.get(line_no, 0) > 1:
+            return "multiple statements share a line; fix it manually"
+    return None
+
+
+def _owning_statement(tree: ast.AST, finding: Finding) -> Optional[ast.stmt]:
+    kind = finding.extra.get("fixable")
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.stmt):
+            continue
+        end = node.end_lineno or node.lineno
+        if not (node.lineno <= finding.line <= end):
+            continue
+        if kind == "remove_import" and isinstance(node, (ast.Import, ast.ImportFrom)):
+            bindings = {a.asname or a.name.split(".")[0] for a in node.names}
+            if finding.extra.get("binding") in bindings:
+                return node
+        elif kind == "prune_export" and isinstance(node, ast.Assign):
+            if any(
+                isinstance(t, ast.Name) and t.id == "__all__" for t in node.targets
+            ):
+                return node
+    return None
+
+
+def _rewrite_statement(
+    stmt: ast.stmt, findings: List[Finding], lines: List[str]
+) -> Optional[List[str]]:
+    indent = _indent_of(lines[stmt.lineno - 1])
+    if isinstance(stmt, (ast.Import, ast.ImportFrom)):
+        remove = {f.extra.get("binding") for f in findings}
+        keep = [
+            a
+            for a in stmt.names
+            if (a.asname or a.name.split(".")[0]) not in remove
+        ]
+        if not keep:
+            return []
+        clone = (
+            ast.Import(names=keep)
+            if isinstance(stmt, ast.Import)
+            else ast.ImportFrom(module=stmt.module, names=keep, level=stmt.level)
+        )
+        return [indent + ast.unparse(ast.fix_missing_locations(clone))]
+    if isinstance(stmt, ast.Assign):
+        return _rewrite_all(stmt, findings, lines, indent)
+    return None
+
+
+def _rewrite_all(
+    stmt: ast.Assign, findings: List[Finding], lines: List[str], indent: str
+) -> Optional[List[str]]:
+    if not isinstance(stmt.value, (ast.List, ast.Tuple)):
+        return None
+    prune = {f.extra.get("export") for f in findings}
+    keep: List[str] = []
+    for elt in stmt.value.elts:
+        if not (isinstance(elt, ast.Constant) and isinstance(elt.value, str)):
+            return None  # non-literal entry: too clever to rewrite
+        if elt.value not in prune:
+            keep.append(elt.value)
+    open_c, close_c = ("[", "]") if isinstance(stmt.value, ast.List) else ("(", ")")
+    multiline = (stmt.end_lineno or stmt.lineno) > stmt.lineno
+    if not multiline or not keep:
+        body = ", ".join(f'"{name}"' for name in keep)
+        return [f"{indent}__all__ = {open_c}{body}{close_c}"]
+    out = [f"{indent}__all__ = {open_c}"]
+    out.extend(f'{indent}    "{name}",' for name in keep)
+    out.append(f"{indent}{close_c}")
+    return out
+
+
+def _indent_of(line: str) -> str:
+    return line[: len(line) - len(line.lstrip())]

@@ -3,17 +3,27 @@
 from __future__ import annotations
 
 import ast
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Type
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Type
 
 from tools.reprolint.config import LintConfig
 from tools.reprolint.findings import Finding, Severity
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from tools.reprolint.dataflow import ModuleDataflow
+    from tools.reprolint.projectindex import ProjectIndex
+
 
 @dataclass
 class FileContext:
-    """Everything a rule may consult about the file under analysis."""
+    """Everything a rule may consult about the file under analysis.
+
+    ``tree`` and ``index`` are populated by the two-phase engine
+    (:func:`tools.reprolint.engine.lint_paths`); standalone
+    :func:`lint_file` calls leave ``index`` as None and whole-program
+    rules must degrade gracefully.
+    """
 
     path: Path
     display_path: str
@@ -21,11 +31,30 @@ class FileContext:
     source: str
     lines: List[str]
     config: LintConfig
+    tree: Optional[ast.AST] = None
+    index: Optional["ProjectIndex"] = None
+    _dataflow: Optional["ModuleDataflow"] = field(
+        default=None, repr=False, compare=False
+    )
 
     def source_line(self, lineno: int) -> str:
         if 1 <= lineno <= len(self.lines):
             return self.lines[lineno - 1]
         return ""
+
+    def dataflow(self) -> "ModuleDataflow":
+        """The file's provenance analysis, built on first use and cached."""
+        if self._dataflow is None:
+            if self.tree is None:
+                raise ValueError("FileContext has no tree; cannot run dataflow")
+            from tools.reprolint.dataflow import ModuleDataflow
+
+            self._dataflow = ModuleDataflow(
+                self.tree,
+                blessed_factories=tuple(self.config.rng_factories),
+                theory_checks=tuple(self.config.theory_check_functions),
+            )
+        return self._dataflow
 
 
 class Rule:
@@ -79,8 +108,9 @@ def register(cls: Type[Rule]) -> Type[Rule]:
 
 
 def all_rules() -> List[Type[Rule]]:
-    # Importing the rules package populates the registry on first use.
-    from tools.reprolint import rules as _rules  # noqa: F401
+    # Side-effect import: loading the package runs every @register
+    # decorator and populates _REGISTRY; the binding itself is unused.
+    from tools.reprolint import rules as _rules  # noqa: F401  # reprolint: disable=RL704
 
     return [_REGISTRY[k] for k in sorted(_REGISTRY)]
 

@@ -1,11 +1,19 @@
-"""Text and JSON renderers for a :class:`LintReport`."""
+"""Text, JSON, and SARIF renderers for a :class:`LintReport`."""
 
 from __future__ import annotations
 
 import json
 
 from tools.reprolint.engine import LintReport
-from tools.reprolint.findings import SEVERITY_ORDER
+from tools.reprolint.findings import SEVERITY_ORDER, Severity
+from tools.reprolint.registry import all_rules
+
+#: SARIF reportingConfiguration.level per reprolint severity.
+_SARIF_LEVEL = {
+    Severity.ERROR: "error",
+    Severity.WARNING: "warning",
+    Severity.INFO: "note",
+}
 
 
 def render_text(report: LintReport, *, verbose: bool = False) -> str:
@@ -28,6 +36,12 @@ def render_text(report: LintReport, *, verbose: bool = False) -> str:
         tail += f"; {len(report.baselined)} baselined"
     if report.suppressed_count:
         tail += f"; {report.suppressed_count} suppressed inline"
+    if report.stale_baseline:
+        tail += (
+            f"; {len(report.stale_baseline)} stale baseline entr"
+            f"{'y' if len(report.stale_baseline) == 1 else 'ies'} "
+            "(--prune-baseline removes them)"
+        )
     lines.append(tail)
     return "\n".join(lines)
 
@@ -39,6 +53,72 @@ def render_json(report: LintReport) -> str:
         "baselined": len(report.baselined),
         "suppressed": report.suppressed_count,
         "exit_code": report.exit_code,
+        "stale_baseline": dict(report.stale_baseline),
         "findings": [f.as_dict() for f in report.findings],
     }
     return json.dumps(payload, indent=2)
+
+
+def render_sarif(report: LintReport) -> str:
+    """SARIF 2.1.0 log for code-scanning upload.
+
+    Baselined and suppressed findings are excluded (matching the text
+    and JSON reporters); severities map error/warning/``note``.
+    """
+    from tools.reprolint import __version__
+
+    rules = all_rules()
+    rule_index = {cls.rule_id: i for i, cls in enumerate(rules)}
+    results = []
+    for f in report.findings:
+        results.append(
+            {
+                "ruleId": f.rule_id,
+                "ruleIndex": rule_index.get(f.rule_id, -1),
+                "level": _SARIF_LEVEL[f.severity],
+                "message": {"text": f.message},
+                "locations": [
+                    {
+                        "physicalLocation": {
+                            "artifactLocation": {
+                                "uri": f.path,
+                                "uriBaseId": "%SRCROOT%",
+                            },
+                            "region": {
+                                "startLine": max(f.line, 1),
+                                "startColumn": f.col + 1,
+                            },
+                        }
+                    }
+                ],
+                "partialFingerprints": {"reprolint/v1": f.fingerprint()},
+            }
+        )
+    log = {
+        "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "reprolint",
+                        "version": __version__,
+                        "informationUri": "docs/LINTING.md",
+                        "rules": [
+                            {
+                                "id": cls.rule_id,
+                                "shortDescription": {"text": cls.description},
+                                "defaultConfiguration": {
+                                    "level": _SARIF_LEVEL[cls.severity]
+                                },
+                            }
+                            for cls in rules
+                        ],
+                    }
+                },
+                "columnKind": "unicodeCodePoints",
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(log, indent=2)

@@ -1,3 +1,11 @@
 """Rule implementations; importing this package registers every rule."""
 
-from tools.reprolint.rules import dtype, layering, rng, safety, theory  # noqa: F401
+from tools.reprolint.rules import (  # noqa: F401
+    dtype,
+    hygiene,
+    layering,
+    provenance,
+    rng,
+    safety,
+    theory,
+)

@@ -1,0 +1,226 @@
+"""RL6xx — value-provenance (taint) rules over the dataflow engine.
+
+Two flow invariants protect this reproduction that no per-line check
+can see:
+
+* **RNG lineage** — bitwise reproducibility rests on every
+  :class:`numpy.random.Generator` descending from the single
+  ``SeedSequence``-spawning root in :mod:`repro.utils.rng`.  A raw
+  ``np.random.default_rng(...)`` created in an upper layer starts a
+  second, unrelated lineage whose draws depend on call order relative
+  to nothing — results stop being a pure function of the experiment
+  seed (RL600).
+* **hyperparameter provenance** — FedProx-style methods are known to
+  be sensitive to mis-set ``(beta, mu, tau)`` (Li et al. 2020; Yuan &
+  Li 2022).  A literal that *provably* violates the ICPP'20 Lemma 1
+  bounds and flows into a FedProxVR driver unvalidated is flagged at
+  the call site; routing the value through any
+  :mod:`repro.core.theory` bound check first transfers responsibility
+  to the runtime check, which raises
+  :class:`~repro.exceptions.InfeasibleParametersError` loudly (RL601).
+
+Both rules track values through assignments, augmented assignment
+(constant-folded), branches (may-analysis: one bad path suffices),
+container subscripting/iteration, and function-call validation — see
+:mod:`tools.reprolint.dataflow`.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Optional
+
+from tools.reprolint.asthelpers import NumpyAliases, keyword_map, numeric_literal
+from tools.reprolint.findings import Finding, Severity
+from tools.reprolint.registry import FileContext, Rule, register
+from tools.reprolint.rules.theory import _estimator_hint, _tau_upper_bound
+
+#: Keywords that denote the paper's tau (local iteration count).
+_TAU_KEYWORDS = ("tau", "num_local_steps")
+
+
+def _literal_values(ctx: FileContext, node: ast.AST) -> List[float]:
+    """Unvalidated literal values that may reach ``node``, via dataflow."""
+    return [
+        v.value
+        for v in ctx.dataflow().provenance(node)
+        if v.kind == "literal" and v.value is not None
+    ]
+
+
+def _checked(ctx: FileContext, node: ast.AST) -> bool:
+    """Did every literal reaching ``node`` pass a theory bound check?"""
+    prov = ctx.dataflow().provenance(node)
+    return any(v.kind == "checked" for v in prov) and not any(
+        v.kind == "literal" for v in prov
+    )
+
+
+@register
+class RawGeneratorRule(Rule):
+    """RL600: ``np.random.default_rng`` outside the blessed RNG module."""
+
+    rule_id = "RL600"
+    family = "provenance"
+    severity = Severity.ERROR
+    description = (
+        "numpy.random.default_rng() outside repro.utils.rng starts an "
+        "unrelated RNG lineage; derive Generators via as_generator / "
+        "spawn_generators / derive_generator."
+    )
+
+    def check(self, tree: ast.AST, ctx: FileContext) -> Iterable[Finding]:
+        if ctx.module_name is None:
+            return  # tests/tools/benches may build ad-hoc generators
+        if ctx.config.module_matches(ctx.module_name, ctx.config.rng_modules):
+            return  # the blessed lineage root itself
+        aliases = NumpyAliases(tree)
+        flow = None
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            direct = aliases.random_member(node.func) == "default_rng"
+            via_alias = False
+            if not direct and isinstance(node.func, ast.Name):
+                # ``make = np.random.default_rng; rng = make(...)``:
+                # the factory reference itself carries raw provenance.
+                flow = flow or ctx.dataflow()
+                via_alias = any(
+                    v.kind == "rng_raw_factory" for v in flow.provenance(node.func)
+                )
+            if direct or via_alias:
+                yield self.make_finding(
+                    ctx,
+                    node,
+                    "raw numpy.random.default_rng() in "
+                    f"{ctx.module_name} breaks the repro.utils.rng "
+                    "SeedSequence lineage (results stop being a function "
+                    "of the experiment seed); use as_generator / "
+                    "spawn_generators / derive_generator",
+                    via_alias=via_alias,
+                )
+
+
+@register
+class HyperparameterProvenanceRule(Rule):
+    """RL601: unvalidated literal ``beta``/``mu``/``tau`` violating Lemma 1
+    flows into a FedProxVR driver."""
+
+    rule_id = "RL601"
+    family = "provenance"
+    severity = Severity.ERROR
+    description = (
+        "A literal hyperparameter that provably violates Lemma 1 "
+        "(beta <= 3, mu < 0, or tau above the eq. (13)/(14) cap) reaches "
+        "a FedProxVR driver without passing through a repro.core.theory "
+        "bound check."
+    )
+
+    def check(self, tree: ast.AST, ctx: FileContext) -> Iterable[Finding]:
+        if ctx.module_name is None:
+            return
+        drivers = set(ctx.config.driver_callables)
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = self._callee_name(node.func)
+            if name not in drivers:
+                continue
+            kwargs = keyword_map(node)
+            yield from self._check_beta(ctx, kwargs)
+            yield from self._check_mu(ctx, kwargs)
+            yield from self._check_tau(ctx, node, kwargs)
+
+    @staticmethod
+    def _callee_name(func: ast.AST) -> Optional[str]:
+        if isinstance(func, ast.Name):
+            return func.id
+        if isinstance(func, ast.Attribute):
+            return func.attr
+        return None
+
+    def _check_beta(self, ctx: FileContext, kwargs) -> Iterable[Finding]:
+        beta_node = kwargs.get("beta")
+        # Plain literals at the call site are RL500/RL501's findings.
+        if beta_node is None or numeric_literal(beta_node) is not None:
+            return
+        if _checked(ctx, beta_node):
+            return
+        for value in _literal_values(ctx, beta_node):
+            if value <= 3.0:
+                yield self.make_finding(
+                    ctx,
+                    beta_node,
+                    f"unvalidated literal beta={value:g} reaches this driver "
+                    "on some path; Lemma 1 requires beta > 3 — fix the "
+                    "value or route it through a repro.core.theory bound "
+                    "check (e.g. lemma1_feasible) first",
+                    beta=value,
+                )
+                return  # one finding per call site is enough signal
+
+    def _check_mu(self, ctx: FileContext, kwargs) -> Iterable[Finding]:
+        mu_node = kwargs.get("mu")
+        if mu_node is None or numeric_literal(mu_node) is not None:
+            return
+        if _checked(ctx, mu_node):
+            return
+        for value in _literal_values(ctx, mu_node):
+            if value < 0.0:
+                yield self.make_finding(
+                    ctx,
+                    mu_node,
+                    f"unvalidated literal mu={value:g} reaches this driver "
+                    "on some path; the proximal penalty must be "
+                    "non-negative (mu > lambda for Lemma 1) — fix the "
+                    "value or validate it via repro.core.theory",
+                    mu=value,
+                )
+                return
+
+    def _check_tau(self, ctx: FileContext, call: ast.Call, kwargs) -> Iterable[Finding]:
+        tau_node = None
+        for key in _TAU_KEYWORDS:
+            if key in kwargs:
+                tau_node = kwargs[key]
+                break
+        beta_node = kwargs.get("beta")
+        if tau_node is None or beta_node is None:
+            return
+        if numeric_literal(tau_node) is not None and numeric_literal(
+            beta_node
+        ) is not None:
+            return  # both literal at the site: RL501's finding
+        if _checked(ctx, tau_node):
+            return
+        taus = _literal_values(ctx, tau_node)
+        if numeric_literal(tau_node) is not None:
+            taus = [float(numeric_literal(tau_node))]
+        betas = [
+            b
+            for b in (
+                _literal_values(ctx, beta_node)
+                if numeric_literal(beta_node) is None
+                else [float(numeric_literal(beta_node))]
+            )
+            if b > 3.0
+        ]
+        if not taus or not betas:
+            return
+        estimator = _estimator_hint(call)
+        # A beta grid is compatible if at least one entry admits the tau;
+        # a tau that exceeds the cap on *any* path is a bug on that path.
+        bound = max(_tau_upper_bound(b, estimator) for b in betas)
+        worst = max(taus)
+        if worst > bound:
+            yield self.make_finding(
+                ctx,
+                tau_node,
+                f"unvalidated literal tau={worst:g} reaches this driver and "
+                f"exceeds the Lemma 1 {estimator.upper()} cap {bound:g} for "
+                f"beta={max(betas):g}; reduce tau, raise beta, or validate "
+                "via repro.core.theory",
+                tau=worst,
+                bound=bound,
+                estimator=estimator,
+            )

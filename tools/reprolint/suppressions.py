@@ -1,25 +1,46 @@
 """Inline suppression comments.
 
-Syntax (same line as the finding)::
+Syntax (on any physical line of the violating statement)::
 
     risky_call()  # reprolint: disable=RL402
     other_call()  # reprolint: disable=RL402,RL500
     anything()    # reprolint: disable=all
 
-Suppressions are line-scoped on purpose: a disable comment documents —
-right where the violation sits — why the invariant does not apply, and
-cannot silently grow to cover new code the way file- or block-scoped
-pragmas do.
+Suppressions are statement-scoped: a disable comment anywhere within
+the enclosing *simple* statement's ``lineno..end_lineno`` span
+suppresses matching findings on every line of that statement, so a
+comment on the first line of a multi-line call covers findings the
+rules report on its continuation lines.  For compound statements
+(``if``/``for``/``with``/``def``…) only the header span counts — a
+comment on the ``if`` line can never silently cover the body.
+
+There are deliberately no file- or block-scoped pragmas: the comment
+documents — right where the violation sits — why the invariant does not
+apply, and cannot grow to cover new code.
 """
 
 from __future__ import annotations
 
+import ast
 import re
-from typing import List, Set
+from typing import Dict, List, Optional, Set, Tuple
 
 from tools.reprolint.findings import Finding
 
 _DISABLE_RE = re.compile(r"#\s*reprolint:\s*disable=([A-Za-z0-9_,\s]+)")
+
+_COMPOUND = (
+    ast.If,
+    ast.For,
+    ast.AsyncFor,
+    ast.While,
+    ast.With,
+    ast.AsyncWith,
+    ast.Try,
+    ast.FunctionDef,
+    ast.AsyncFunctionDef,
+    ast.ClassDef,
+)
 
 
 def disabled_rules_on_line(line: str) -> Set[str]:
@@ -30,8 +51,87 @@ def disabled_rules_on_line(line: str) -> Set[str]:
     return {tok.strip() for tok in m.group(1).split(",") if tok.strip()}
 
 
-def is_suppressed(finding: Finding, lines: List[str]) -> bool:
-    if not 1 <= finding.line <= len(lines):
-        return False
-    disabled = disabled_rules_on_line(lines[finding.line - 1])
-    return "all" in disabled or finding.rule_id in disabled
+def _header_end(node: ast.stmt) -> int:
+    """Last line of a compound statement's header (test/iter/items/args)."""
+    end = node.lineno
+    exprs: List[Optional[ast.AST]] = []
+    if isinstance(node, (ast.If, ast.While)):
+        exprs = [node.test]
+    elif isinstance(node, (ast.For, ast.AsyncFor)):
+        exprs = [node.target, node.iter]
+    elif isinstance(node, (ast.With, ast.AsyncWith)):
+        exprs = list(node.items)
+    elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        exprs = list(node.args.defaults) + [
+            d for d in node.args.kw_defaults if d is not None
+        ] + [node.returns]
+    elif isinstance(node, ast.ClassDef):
+        exprs = list(node.bases) + [kw.value for kw in node.keywords]
+    for expr in exprs:
+        if expr is not None:
+            end = max(end, getattr(expr, "end_lineno", node.lineno) or node.lineno)
+    return end
+
+
+def statement_spans(tree: ast.AST) -> List[Tuple[int, int]]:
+    """``(start, end)`` line spans that one disable comment covers.
+
+    Simple statements span their whole ``lineno..end_lineno``; compound
+    statements contribute only their header span.  Decorated defs extend
+    the span upward to the first decorator so a comment on the decorator
+    line covers the ``def`` line's findings.
+    """
+    spans: List[Tuple[int, int]] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.stmt):
+            continue
+        end = getattr(node, "end_lineno", None)
+        if end is None:  # pragma: no cover - py<3.8 only
+            continue
+        start = node.lineno
+        if isinstance(node, _COMPOUND):
+            if isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ) and node.decorator_list:
+                start = min(d.lineno for d in node.decorator_list)
+            end = _header_end(node)
+        spans.append((start, end))
+    return spans
+
+
+class SuppressionIndex:
+    """Per-file map from physical line to the rules disabled there."""
+
+    def __init__(self, lines: List[str], tree: Optional[ast.AST] = None) -> None:
+        self._per_line: Dict[int, Set[str]] = {}
+        for i, line in enumerate(lines, start=1):
+            disabled = disabled_rules_on_line(line)
+            if disabled:
+                self._per_line[i] = disabled
+        self._effective: Dict[int, Set[str]] = {
+            k: set(v) for k, v in self._per_line.items()
+        }
+        if tree is not None and self._per_line:
+            for start, end in statement_spans(tree):
+                if end <= start:
+                    continue
+                merged: Set[str] = set()
+                for line_no in range(start, end + 1):
+                    merged |= self._per_line.get(line_no, set())
+                if merged:
+                    for line_no in range(start, end + 1):
+                        self._effective.setdefault(line_no, set()).update(merged)
+
+    def disabled_at(self, lineno: int) -> Set[str]:
+        return self._effective.get(lineno, set())
+
+    def is_suppressed(self, finding: Finding) -> bool:
+        disabled = self.disabled_at(finding.line)
+        return "all" in disabled or finding.rule_id in disabled
+
+
+def is_suppressed(
+    finding: Finding, lines: List[str], tree: Optional[ast.AST] = None
+) -> bool:
+    """Convenience wrapper; prefer a shared :class:`SuppressionIndex`."""
+    return SuppressionIndex(lines, tree).is_suppressed(finding)
