@@ -6,6 +6,8 @@ Commands
 ``compare`` — train several algorithms under identical settings.
 ``theory``  — evaluate Lemma 1 bounds and Theorem 1's factor at given knobs.
 ``optimize``— solve the §4.3 problem for one or more gamma values (Fig. 1).
+``obs-report`` — render the span-tree / hotspot summary of a JSONL trace
+produced by ``repro run --trace``.
 ``lint``    — run the reprolint static-analysis suite (requires the repo
 checkout: the ``tools`` package is not shipped with the installed wheel).
 
@@ -34,6 +36,8 @@ from repro.models import (
     make_mlp_model,
     make_paper_cnn_model,
 )
+from repro.obs import CsvMetricsSink, JsonlSink, StderrReporter, telemetry
+from repro.obs.report import render_report
 
 DATASETS = ("synthetic", "digits", "fashion")
 MODELS = ("mlr", "mlp", "cnn")
@@ -91,6 +95,41 @@ def _add_run_options(p: argparse.ArgumentParser) -> None:
     p.add_argument("--eval-every", type=int, default=5)
     p.add_argument("--executor", choices=("sequential", "thread"), default="sequential")
     p.add_argument("--output", help="write the history JSON here")
+    p.add_argument("--trace", metavar="PATH",
+                   help="enable telemetry and write the JSONL event trace here "
+                        "(inspect with 'repro obs-report')")
+    p.add_argument("--metrics", metavar="PATH",
+                   help="enable telemetry and write the per-round/run metrics CSV here")
+    p.add_argument("--obs-stderr", action="store_true",
+                   help="with telemetry on, also print per-round metrics to stderr")
+    p.add_argument("--profile-nn", action="store_true",
+                   help="with telemetry on, time every nn layer forward/backward "
+                        "(adds overhead; off by default)")
+
+
+def _configure_telemetry(args) -> bool:
+    """Start a telemetry session from CLI flags; True if one started."""
+    sinks = []
+    if args.trace:
+        sinks.append(JsonlSink(args.trace))
+    if args.metrics:
+        sinks.append(CsvMetricsSink(args.metrics))
+    if args.obs_stderr:
+        sinks.append(StderrReporter())
+    if not sinks:
+        if args.profile_nn:
+            raise ConfigurationError(
+                "--profile-nn needs a telemetry sink; add --trace, "
+                "--metrics, or --obs-stderr"
+            )
+        return False
+    telemetry.configure(
+        sinks,
+        nn_profiling=args.profile_nn,
+        extra_meta={"dataset": args.dataset, "model": args.model,
+                    "seed": args.seed},
+    )
+    return True
 
 
 def _make_config(args, algorithm: str) -> FederatedRunConfig:
@@ -113,12 +152,22 @@ def cmd_run(args) -> int:
     )
     factory = build_model_factory(args.model, dataset)
     print(dataset.summary())
-    history, _ = run_federated(
-        dataset, factory, _make_config(args, args.algorithm), verbose=True
-    )
+    traced = _configure_telemetry(args)
+    try:
+        history, _ = run_federated(
+            dataset, factory, _make_config(args, args.algorithm), verbose=True
+        )
+    finally:
+        if traced:
+            telemetry.shutdown()
     if args.output:
         history.to_json(args.output)
         print(f"history written to {args.output}")
+    if args.trace:
+        print(f"trace written to {args.trace} "
+              f"(render with: repro obs-report {args.trace})")
+    if args.metrics:
+        print(f"metrics CSV written to {args.metrics}")
     return 0
 
 
@@ -128,17 +177,31 @@ def cmd_compare(args) -> int:
     )
     factory = build_model_factory(args.model, dataset)
     print(dataset.summary())
+    traced = _configure_telemetry(args)
     histories = []
-    for algorithm in args.algorithms:
-        config = _make_config(args, algorithm)
-        if algorithm == "fedavg":
-            config.mu = 0.0
-        history, _ = run_federated(dataset, factory, config)
-        histories.append(history)
-        print(f"  {algorithm:>18s}: final loss {history.final('train_loss'):.4f}  "
-              f"acc {history.final('test_accuracy'):.4f}")
+    try:
+        for algorithm in args.algorithms:
+            config = _make_config(args, algorithm)
+            if algorithm == "fedavg":
+                config.mu = 0.0
+            history, _ = run_federated(dataset, factory, config)
+            histories.append(history)
+            print(f"  {algorithm:>18s}: final loss {history.final('train_loss'):.4f}  "
+                  f"acc {history.final('test_accuracy'):.4f}")
+    finally:
+        if traced:
+            telemetry.shutdown()
     print()
     print(format_comparison(histories))
+    return 0
+
+
+def cmd_obs_report(args) -> int:
+    try:
+        print(render_report(args.trace, top=args.top), end="")
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot render {args.trace!r}: {exc}", file=sys.stderr)
+        return 2
     return 0
 
 
@@ -250,6 +313,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_opt.add_argument("--gamma-max", type=float, default=1.0)
     p_opt.add_argument("--points", type=int, default=7)
     p_opt.set_defaults(func=cmd_optimize)
+
+    p_rep = sub.add_parser(
+        "obs-report", help="summarize a JSONL trace from 'repro run --trace'"
+    )
+    p_rep.add_argument("trace", help="path to the JSONL trace file")
+    p_rep.add_argument("--top", type=int, default=10,
+                       help="number of hotspot rows (default 10)")
+    p_rep.set_defaults(func=cmd_obs_report)
 
     p_lint = sub.add_parser(
         "lint", help="run the reprolint static-analysis suite (repo checkout only)"

@@ -15,7 +15,12 @@ from typing import Dict, Optional
 import numpy as np
 
 from repro.models.base import Model
+from repro.obs import telemetry
 from repro.utils.validation import check_positive, check_positive_int
+
+#: ratio buckets for the achieved-theta distribution (criterion (11)):
+#: fine below 1 (criterion met by some margin), coarse above.
+THETA_BUCKETS = (0.01, 0.05, 0.1, 0.25, 0.5, 0.75, 1.0, 2.0, 10.0)
 
 
 @dataclass
@@ -82,3 +87,26 @@ class LocalSolver(ABC):
         if size == n:
             return np.arange(n)
         return rng.choice(n, size=size, replace=False)
+
+    def _record_solve_metrics(self, result: LocalSolveResult) -> LocalSolveResult:
+        """Publish one solve's inner-loop telemetry; returns ``result``.
+
+        Called by every concrete solver just before returning, so
+        per-client step/gradient-evaluation counts and the achieved
+        local accuracy ``theta_hat`` are visible between
+        ``RoundRecord`` snapshots.  One attribute check when disabled.
+        """
+        if not telemetry.enabled:
+            return result
+        telemetry.counter_add("fl.client.local_steps", result.num_steps, key=self.name)
+        telemetry.counter_add(
+            "fl.client.grad_evals", result.num_gradient_evaluations, key=self.name
+        )
+        theta_hat = result.achieved_accuracy
+        if theta_hat is not None and np.isfinite(theta_hat):
+            telemetry.gauge_set("fl.client.achieved_theta", float(theta_hat))
+            telemetry.observe(
+                "fl.client.achieved_theta_dist", float(theta_hat),
+                buckets=THETA_BUCKETS,
+            )
+        return result

@@ -59,10 +59,12 @@ class GDLocalSolver(LocalSolver):
             g = model.gradient(w, X, y)
             start_norm = float(np.linalg.norm(g))
         final_grad = model.gradient(w, X, y) + prox.gradient(w)
-        return LocalSolveResult(
-            w_local=w,
-            num_steps=self.num_steps,
-            num_gradient_evaluations=(self.num_steps + 1) * full_pass_units,
-            start_grad_norm=start_norm,
-            final_surrogate_grad_norm=float(np.linalg.norm(final_grad)),
+        return self._record_solve_metrics(
+            LocalSolveResult(
+                w_local=w,
+                num_steps=self.num_steps,
+                num_gradient_evaluations=(self.num_steps + 1) * full_pass_units,
+                start_grad_norm=start_norm,
+                final_surrogate_grad_norm=float(np.linalg.norm(final_grad)),
+            )
         )

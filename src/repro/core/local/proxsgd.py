@@ -56,10 +56,12 @@ class FedProxLocalSolver(LocalSolver):
             w = prox(w - self.step_size * g, self.step_size)
         final_grad = model.gradient(w, X, y) + prox.gradient(w)
         evals += 1
-        return LocalSolveResult(
-            w_local=w,
-            num_steps=self.num_steps,
-            num_gradient_evaluations=evals,
-            start_grad_norm=start_norm,
-            final_surrogate_grad_norm=float(np.linalg.norm(final_grad)),
+        return self._record_solve_metrics(
+            LocalSolveResult(
+                w_local=w,
+                num_steps=self.num_steps,
+                num_gradient_evaluations=evals,
+                start_grad_norm=start_norm,
+                final_surrogate_grad_norm=float(np.linalg.norm(final_grad)),
+            )
         )

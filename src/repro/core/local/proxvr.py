@@ -165,14 +165,16 @@ class FedProxVRLocalSolver(LocalSolver):
             final_norm = self._surrogate_grad_norm(model, X, y, w_out, prox)
             evals += 1
 
-        return LocalSolveResult(
-            w_local=np.array(w_out, dtype=np.float64, copy=True),
-            num_steps=steps_taken,
-            num_gradient_evaluations=evals,
-            start_grad_norm=start_norm,
-            final_surrogate_grad_norm=final_norm,
-            diagnostics={
-                "stopped_early": float(stopped_early),
-                "estimator_evals": float(estimator.num_evaluations),
-            },
+        return self._record_solve_metrics(
+            LocalSolveResult(
+                w_local=np.array(w_out, dtype=np.float64, copy=True),
+                num_steps=steps_taken,
+                num_gradient_evaluations=evals,
+                start_grad_norm=start_norm,
+                final_surrogate_grad_norm=final_norm,
+                diagnostics={
+                    "stopped_early": float(stopped_early),
+                    "estimator_evals": float(estimator.num_evaluations),
+                },
+            )
         )

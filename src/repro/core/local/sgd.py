@@ -36,10 +36,12 @@ class FedAvgLocalSolver(LocalSolver):
             g = model.gradient(w, X[idx], y[idx])
             evals += 1
             w -= self.step_size * g
-        return LocalSolveResult(
-            w_local=w,
-            num_steps=self.num_steps,
-            num_gradient_evaluations=evals,
-            start_grad_norm=start_norm,
-            diagnostics={"start_loss": start_loss},
+        return self._record_solve_metrics(
+            LocalSolveResult(
+                w_local=w,
+                num_steps=self.num_steps,
+                num_gradient_evaluations=evals,
+                start_grad_norm=start_norm,
+                diagnostics={"start_loss": start_loss},
+            )
         )

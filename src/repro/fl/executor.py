@@ -12,17 +12,30 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from concurrent.futures import ThreadPoolExecutor
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
 from repro.core.local.base import LocalSolveResult
 from repro.fl.client import Client
+from repro.obs import telemetry
 from repro.utils.validation import check_positive_int
 
 
 class ClientExecutor(ABC):
-    """Runs one round of local updates over a set of clients."""
+    """Runs one round of local updates over a set of clients.
+
+    When telemetry is enabled each client's solve runs inside a
+    ``local_solve`` span (nested under the server's ``round`` span) and
+    the per-client wall durations of the last round are exposed as
+    :attr:`last_client_seconds`, ordered like the ``clients`` argument —
+    the raw material for straggler-gap diagnostics that the simulated
+    clock only ever sees as a max.  While disabled the attribute stays
+    ``None`` and the hot path is untouched.
+    """
+
+    #: wall seconds per client for the most recent round (telemetry only)
+    last_client_seconds: Optional[List[float]] = None
 
     @abstractmethod
     def run_round(
@@ -37,11 +50,38 @@ class ClientExecutor(ABC):
         """Release any pooled resources (default: nothing to do)."""
 
 
+def _traced_update(client, w_global, round_index, parent):
+    """One client's local solve inside a ``local_solve`` span.
+
+    ``parent`` pins the span under the caller's round span even when
+    this runs on a pool thread whose own context stack is empty.
+    """
+    with telemetry.span(
+        "local_solve",
+        parent=parent,
+        client=client.client_id,
+        round=round_index,
+    ) as span:
+        result = client.local_update(w_global, round_index)
+    return result, span.duration
+
+
 class SequentialExecutor(ClientExecutor):
     """Run clients one after another in the calling thread (default)."""
 
     def run_round(self, clients, w_global, round_index):
-        return [c.local_update(w_global, round_index) for c in clients]
+        if not telemetry.enabled:
+            self.last_client_seconds = None
+            return [c.local_update(w_global, round_index) for c in clients]
+        parent = telemetry.current_span()
+        results: List[LocalSolveResult] = []
+        seconds: List[float] = []
+        for c in clients:
+            result, dur = _traced_update(c, w_global, round_index, parent)
+            results.append(result)
+            seconds.append(dur)
+        self.last_client_seconds = seconds
+        return results
 
 
 class ThreadPoolClientExecutor(ClientExecutor):
@@ -65,11 +105,23 @@ class ThreadPoolClientExecutor(ClientExecutor):
                 "parallel execution requires one model instance per client "
                 "(shared models carry per-call forward/backward caches)"
             )
+        if not telemetry.enabled:
+            self.last_client_seconds = None
+            futures = [
+                self._pool.submit(c.local_update, w_global, round_index)
+                for c in clients
+            ]
+            return [f.result() for f in futures]
+        # Capture the round span *here* (submitting thread); the pool
+        # threads have empty context stacks of their own.
+        parent = telemetry.current_span()
         futures = [
-            self._pool.submit(c.local_update, w_global, round_index)
+            self._pool.submit(_traced_update, c, w_global, round_index, parent)
             for c in clients
         ]
-        return [f.result() for f in futures]
+        pairs = [f.result() for f in futures]
+        self.last_client_seconds = [dur for _, dur in pairs]
+        return [result for result, _ in pairs]
 
     def close(self) -> None:
         if not self._closed:

@@ -20,6 +20,10 @@ class RoundRecord:
     mean_local_steps: float = 0.0
     mean_gradient_evaluations: float = 0.0
     mean_achieved_theta: Optional[float] = None
+    #: max − median per-client wall seconds for the round, measured by
+    #: the executor's ``local_solve`` spans; ``None`` when telemetry was
+    #: off (histories written before this field existed load as ``None``)
+    straggler_gap: Optional[float] = None
 
 
 @dataclass

@@ -22,6 +22,7 @@ from repro.fl.executor import ClientExecutor, SequentialExecutor, ThreadPoolClie
 from repro.fl.server import FederatedServer
 from repro.fl.history import TrainingHistory
 from repro.models.base import Model
+from repro.obs import telemetry
 from repro.utils.rng import SeedLike, spawn_seeds
 from repro.utils.smoothness import estimate_smoothness_power_iteration
 from repro.utils.validation import check_positive, check_positive_int
@@ -146,10 +147,13 @@ def run_federated(
     init_seed, server_seed = (s.entropy for s in spawn_seeds(config.seed, 2))
 
     probe_model = model_factory()
-    L = resolve_smoothness(
-        probe_model, dataset, override=config.smoothness, seed=config.seed
-    )
+    with telemetry.span("estimate_smoothness", dataset=dataset.name):
+        L = resolve_smoothness(
+            probe_model, dataset, override=config.smoothness, seed=config.seed
+        )
     eta = 1.0 / (config.beta * L)
+    telemetry.gauge_set("fl.run.smoothness_L", L)
+    telemetry.gauge_set("fl.run.step_size_eta", eta)
 
     solver = make_local_solver(
         config.algorithm,
@@ -201,16 +205,27 @@ def run_federated(
         "seed": config.seed,
         **{f"solver_{k}": v for k, v in config.solver_kwargs.items()},
     }
+    # Simulated time (eq. (19)) is run-scoped: stamp every event this
+    # run emits with the server clock's elapsed value.
+    telemetry.attach_sim_clock(server.clock)
     try:
-        history, w_final = server.train(
-            w0,
-            config.num_rounds,
-            algorithm_name=config.algorithm,
-            dataset_name=dataset.name,
-            config=run_config,
-            eval_every=config.eval_every,
-            verbose=verbose,
-        )
+        with telemetry.span(
+            "run",
+            algorithm=config.algorithm,
+            dataset=dataset.name,
+            executor=config.executor,
+            num_rounds=config.num_rounds,
+            tau=config.num_local_steps,
+        ):
+            history, w_final = server.train(
+                w0,
+                config.num_rounds,
+                algorithm_name=config.algorithm,
+                dataset_name=dataset.name,
+                config=run_config,
+                eval_every=config.eval_every,
+                verbose=verbose,
+            )
     finally:
         executor.close()
     return history, w_final

@@ -10,6 +10,7 @@ participation regime of FedAvg.
 
 from __future__ import annotations
 
+import statistics
 import time
 from typing import Callable, List, Optional, Sequence
 
@@ -23,6 +24,7 @@ from repro.fl.executor import ClientExecutor, SequentialExecutor
 from repro.fl.history import RoundRecord, TrainingHistory
 from repro.fl.metrics import global_accuracy, global_loss_and_gradient_norm
 from repro.models.base import Model
+from repro.obs import telemetry
 from repro.utils.rng import SeedLike, as_generator
 from repro.utils.timing import SimulatedClock
 from repro.utils.validation import check_in_range, check_positive_int
@@ -88,6 +90,15 @@ class FederatedServer:
             ]
         self.clock.advance_round(delays if delays else [0.0])
 
+        # Straggler diagnostics from the executor's per-client spans:
+        # the simulated clock only ever sees max(delays); the gap
+        # (max - median wall seconds) says how lopsided the round was.
+        straggler_gap: Optional[float] = None
+        client_seconds = self.executor.last_client_seconds
+        if client_seconds:
+            straggler_gap = max(client_seconds) - statistics.median(client_seconds)
+            telemetry.observe("fl.round.straggler_gap", straggler_gap)
+
         thetas = [
             r.achieved_accuracy
             for r in results
@@ -102,6 +113,7 @@ class FederatedServer:
                 np.mean([r.num_gradient_evaluations for r in results])
             ),
             "mean_achieved_theta": float(np.mean(thetas)) if thetas else None,
+            "straggler_gap": straggler_gap,
         }
 
     def train(
@@ -133,34 +145,40 @@ class FederatedServer:
         w = np.array(w0, dtype=np.float64, copy=True)
         start = time.perf_counter()
         for s in range(1, num_rounds + 1):
-            outcome = self.run_round(w, s)
-            w = outcome["w"]
-            if s % eval_every == 0 or s == num_rounds:
-                loss, grad_norm = global_loss_and_gradient_norm(
-                    self.eval_model, self.clients, w
-                )
-                acc = global_accuracy(self.eval_model, self.clients, w)
-                history.append(
-                    RoundRecord(
-                        round_index=s,
-                        train_loss=loss,
-                        grad_norm=grad_norm,
-                        test_accuracy=acc,
-                        sim_time=self.clock.elapsed,
-                        wall_time=time.perf_counter() - start,
-                        mean_local_steps=outcome["mean_local_steps"],
-                        mean_gradient_evaluations=outcome[
-                            "mean_gradient_evaluations"
-                        ],
-                        mean_achieved_theta=outcome["mean_achieved_theta"],
+            diverged = False
+            with telemetry.span("round", s=s):
+                outcome = self.run_round(w, s)
+                w = outcome["w"]
+                if s % eval_every == 0 or s == num_rounds:
+                    with telemetry.span("eval", s=s):
+                        loss, grad_norm = global_loss_and_gradient_norm(
+                            self.eval_model, self.clients, w
+                        )
+                        acc = global_accuracy(self.eval_model, self.clients, w)
+                    history.append(
+                        RoundRecord(
+                            round_index=s,
+                            train_loss=loss,
+                            grad_norm=grad_norm,
+                            test_accuracy=acc,
+                            sim_time=self.clock.elapsed,
+                            wall_time=time.perf_counter() - start,
+                            mean_local_steps=outcome["mean_local_steps"],
+                            mean_gradient_evaluations=outcome[
+                                "mean_gradient_evaluations"
+                            ],
+                            mean_achieved_theta=outcome["mean_achieved_theta"],
+                            straggler_gap=outcome["straggler_gap"],
+                        )
                     )
-                )
-                if verbose:
-                    print(
-                        f"[{history.algorithm}] round {s:4d}  "
-                        f"loss {loss:10.5f}  acc {acc:6.4f}  "
-                        f"|grad| {grad_norm:9.4f}"
-                    )
-                if not np.isfinite(loss):
-                    break
+                    if verbose:
+                        print(
+                            f"[{history.algorithm}] round {s:4d}  "
+                            f"loss {loss:10.5f}  acc {acc:6.4f}  "
+                            f"|grad| {grad_norm:9.4f}"
+                        )
+                    diverged = not np.isfinite(loss)
+            telemetry.round_finished(s)
+            if diverged:
+                break
         return history, w

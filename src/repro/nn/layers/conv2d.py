@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import time
 from typing import List, Optional, Tuple, Union
 
 import numpy as np
@@ -10,6 +11,7 @@ from repro.exceptions import DimensionMismatchError
 from repro.nn import initializers
 from repro.nn.im2col import col2im, conv_output_size, im2col
 from repro.nn.module import Module
+from repro.obs import telemetry
 from repro.utils.rng import SeedLike, as_generator
 from repro.utils.validation import check_positive_int
 
@@ -81,7 +83,16 @@ class Conv2D(Module):
             )
         N = x.shape[0]
         _, oh, ow = self.output_shape(x.shape[1:])
-        cols = im2col(x, self.kernel_size, self.stride, self.padding)
+        if telemetry.nn_profiling:
+            # The lowering, not the GEMM, is the historical hot spot —
+            # time it separately so `obs-report` can name it.
+            t0 = time.perf_counter()
+            cols = im2col(x, self.kernel_size, self.stride, self.padding)
+            telemetry.observe(
+                "nn.conv2d.im2col_seconds", time.perf_counter() - t0
+            )
+        else:
+            cols = im2col(x, self.kernel_size, self.stride, self.padding)
         if train:
             self._cache_cols = cols
             self._cache_x_shape = x.shape
@@ -111,6 +122,15 @@ class Conv2D(Module):
             np.sum(g2d, axis=1, out=self.grad_bias)
         w2d = self.weight.reshape(self.out_channels, self.in_channels * kh * kw)
         grad_cols = w2d.T @ g2d
+        if telemetry.nn_profiling:
+            t0 = time.perf_counter()
+            out = col2im(
+                grad_cols, x_shape, self.kernel_size, self.stride, self.padding
+            )
+            telemetry.observe(
+                "nn.conv2d.col2im_seconds", time.perf_counter() - t0
+            )
+            return out
         return col2im(grad_cols, x_shape, self.kernel_size, self.stride, self.padding)
 
     def parameters(self) -> List[np.ndarray]:

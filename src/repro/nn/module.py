@@ -43,6 +43,16 @@ class Module:
         """Total scalar parameter count of this module."""
         return int(sum(p.size for p in self.parameters()))
 
+    @property
+    def obs_label(self) -> str:
+        """Metric key for this layer when nn profiling is enabled.
+
+        Containers (:class:`repro.nn.Sequential`) prefix this with the
+        layer's position, giving keys like ``0:Conv2D`` in the
+        ``nn.layer.forward_seconds`` histogram.
+        """
+        return type(self).__name__
+
     def zero_gradients(self) -> None:
         """Reset all gradient buffers to zero in place."""
         for g in self.gradients():

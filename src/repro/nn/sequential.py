@@ -2,11 +2,13 @@
 
 from __future__ import annotations
 
+import time
 from typing import Iterable, Iterator, List
 
 import numpy as np
 
 from repro.nn.module import Module
+from repro.obs import telemetry
 
 
 class Sequential(Module):
@@ -16,23 +18,51 @@ class Sequential(Module):
     runs the chain rule in reverse.  Parameters and gradients are the
     concatenation of the layers' lists, in layer order, which gives a
     stable flat-vector layout for :class:`repro.models.nn_model.NNModel`.
+
+    When ``telemetry.nn_profiling`` is on (off by default — it is a
+    separate opt-in on top of telemetry itself) each layer's forward and
+    backward is timed into the ``nn.layer.forward_seconds`` /
+    ``nn.layer.backward_seconds`` histograms keyed by
+    ``<position>:<obs_label>``; the default path pays one attribute
+    check per call.
     """
 
     def __init__(self, layers: Iterable[Module]) -> None:
         self.layers: List[Module] = list(layers)
         if not self.layers:
             raise ValueError("Sequential requires at least one layer")
+        self._obs_keys = [
+            f"{i}:{layer.obs_label}" for i, layer in enumerate(self.layers)
+        ]
 
     def forward(self, x: np.ndarray, *, train: bool = True) -> np.ndarray:
         out = x
-        for layer in self.layers:
+        if not telemetry.nn_profiling:
+            for layer in self.layers:
+                out = layer.forward(out, train=train)
+            return out
+        for layer, key in zip(self.layers, self._obs_keys):
+            t0 = time.perf_counter()
             out = layer.forward(out, train=train)
+            telemetry.observe(
+                "nn.layer.forward_seconds", time.perf_counter() - t0, key=key
+            )
         return out
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         grad = grad_output
-        for layer in reversed(self.layers):
+        if not telemetry.nn_profiling:
+            for layer in reversed(self.layers):
+                grad = layer.backward(grad)
+            return grad
+        for layer, key in zip(
+            reversed(self.layers), reversed(self._obs_keys)
+        ):
+            t0 = time.perf_counter()
             grad = layer.backward(grad)
+            telemetry.observe(
+                "nn.layer.backward_seconds", time.perf_counter() - t0, key=key
+            )
         return grad
 
     def parameters(self) -> List[np.ndarray]:

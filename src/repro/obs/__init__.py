@@ -1,0 +1,57 @@
+"""repro.obs — structured tracing, metrics, and profiling hooks.
+
+Zero-dependency (stdlib-only) observability for the federated stack.
+The package sits at the bottom of the layering DAG beside
+``repro.utils``: everything above (``core``, ``fl``, ``nn``, the CLI)
+may import it, it imports nothing from ``repro``.
+
+Entry points
+------------
+:data:`telemetry`
+    process-global facade; disabled by default (no-op hot paths).
+:func:`Telemetry.configure` / :func:`Telemetry.shutdown`
+    start/stop a telemetry session with a list of sinks.
+Sinks
+    :class:`InMemorySink`, :class:`JsonlSink`, :class:`CsvMetricsSink`,
+    :class:`StderrReporter`.
+Reporting
+    :func:`repro.obs.report.render_report` renders a span-tree +
+    hotspot summary from a JSONL trace (``repro obs-report``).
+"""
+
+from repro.obs.facade import SCHEMA, Telemetry, telemetry
+from repro.obs.metrics import (
+    DEFAULT_TIME_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.sinks import (
+    CsvMetricsSink,
+    InMemorySink,
+    JsonlSink,
+    Sink,
+    StderrReporter,
+)
+from repro.obs.trace import NOOP_SPAN, NoopSpan, Span, Tracer
+
+__all__ = [
+    "CsvMetricsSink",
+    "Counter",
+    "DEFAULT_TIME_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "InMemorySink",
+    "JsonlSink",
+    "MetricsRegistry",
+    "NOOP_SPAN",
+    "NoopSpan",
+    "SCHEMA",
+    "Sink",
+    "Span",
+    "StderrReporter",
+    "Telemetry",
+    "Tracer",
+    "telemetry",
+]

@@ -1,0 +1,268 @@
+"""Metrics registry: counters, gauges, and fixed-bucket histograms.
+
+Metric identity is ``(name, key)`` where ``key`` is an optional
+free-form sub-label (client id, layer name, ...).  The registry is
+thread-safe — executors record from pool threads — and supports
+snapshot/delta so the telemetry facade can aggregate both per round
+(delta between round boundaries) and per run (final snapshot).
+
+Conventions for names follow a dotted hierarchy::
+
+    fl.client.local_steps        counter  (per-solve inner steps)
+    fl.client.grad_evals         counter  (per-solve gradient evaluations)
+    fl.client.achieved_theta     gauge    (empirical local accuracy)
+    fl.round.straggler_gap       histogram (max - median client seconds)
+    nn.layer.forward_seconds     histogram (per-layer, profiling only)
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "DEFAULT_TIME_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+]
+
+#: geometric seconds buckets, 10 µs .. 100 s — wide enough for both a
+#: single layer forward and a full local solve.
+DEFAULT_TIME_BUCKETS: Tuple[float, ...] = (
+    1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0, 100.0,
+)
+
+
+class Counter:
+    """Monotonically increasing total."""
+
+    kind = "counter"
+    __slots__ = ("total",)
+
+    def __init__(self) -> None:
+        self.total = 0.0
+
+    def add(self, value: float) -> None:
+        if value < 0:
+            raise ValueError("counters only go up")
+        self.total += value
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "total": self.total}
+
+
+class Gauge:
+    """Last-write value plus running min/max/sum/count."""
+
+    kind = "gauge"
+    __slots__ = ("last", "min", "max", "sum", "count")
+
+    def __init__(self) -> None:
+        self.last = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+        self.sum = 0.0
+        self.count = 0
+
+    def set(self, value: float) -> None:
+        self.last = value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        self.sum += value
+        self.count += 1
+
+    def snapshot(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {"kind": self.kind, "last": self.last,
+                               "count": self.count, "sum": self.sum}
+        if self.count:
+            out["min"] = self.min
+            out["max"] = self.max
+            out["mean"] = self.sum / self.count
+        return out
+
+
+class Histogram:
+    """Fixed-bucket histogram (cumulative-style upper bounds).
+
+    ``counts[i]`` counts observations ``<= buckets[i]``; one overflow
+    slot at the end counts the rest.  Also tracks sum/count/min/max so
+    means survive even when every sample lands in one bucket.
+    """
+
+    kind = "histogram"
+    __slots__ = ("buckets", "counts", "sum", "count", "min", "max")
+
+    def __init__(self, buckets: Sequence[float] = DEFAULT_TIME_BUCKETS) -> None:
+        b = tuple(float(x) for x in buckets)
+        if not b or list(b) != sorted(b):
+            raise ValueError("buckets must be a non-empty ascending sequence")
+        self.buckets = b
+        self.counts = [0] * (len(b) + 1)
+        self.sum = 0.0
+        self.count = 0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        i = 0
+        for bound in self.buckets:
+            if value <= bound:
+                break
+            i += 1
+        self.counts[i] += 1
+        self.sum += value
+        self.count += 1
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    def snapshot(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "kind": self.kind,
+            "count": self.count,
+            "sum": self.sum,
+            "buckets": list(self.buckets),
+            "counts": list(self.counts),
+        }
+        if self.count:
+            out["min"] = self.min
+            out["max"] = self.max
+            out["mean"] = self.sum / self.count
+        return out
+
+
+def _metric_id(name: str, key: Optional[str]) -> str:
+    return name if key is None else f"{name}{{{key}}}"
+
+
+class MetricsRegistry:
+    """Thread-safe store of named metrics with snapshot/delta support."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: Dict[str, Any] = {}
+
+    def counter_add(
+        self, name: str, value: float = 1.0, *, key: Optional[str] = None
+    ) -> None:
+        mid = _metric_id(name, key)
+        with self._lock:
+            metric = self._metrics.get(mid)
+            if metric is None:
+                metric = self._metrics[mid] = Counter()
+            metric.add(value)
+
+    def gauge_set(
+        self, name: str, value: float, *, key: Optional[str] = None
+    ) -> None:
+        mid = _metric_id(name, key)
+        with self._lock:
+            metric = self._metrics.get(mid)
+            if metric is None:
+                metric = self._metrics[mid] = Gauge()
+            metric.set(value)
+
+    def observe(
+        self,
+        name: str,
+        value: float,
+        *,
+        key: Optional[str] = None,
+        buckets: Sequence[float] = DEFAULT_TIME_BUCKETS,
+    ) -> None:
+        mid = _metric_id(name, key)
+        with self._lock:
+            metric = self._metrics.get(mid)
+            if metric is None:
+                metric = self._metrics[mid] = Histogram(buckets)
+            metric.observe(value)
+
+    def snapshot(self) -> Dict[str, Dict[str, Any]]:
+        """Point-in-time copy of every metric, keyed by metric id."""
+        with self._lock:
+            return {mid: m.snapshot() for mid, m in sorted(self._metrics.items())}
+
+    @staticmethod
+    def delta(
+        new: Dict[str, Dict[str, Any]], old: Dict[str, Dict[str, Any]]
+    ) -> Dict[str, Dict[str, Any]]:
+        """Per-interval view between two snapshots.
+
+        Counters and histogram count/sum are differenced; gauges pass
+        through at their ``new`` value (a gauge is a level, not a flow).
+        Metrics absent from ``old`` are treated as starting at zero.
+        """
+        out: Dict[str, Dict[str, Any]] = {}
+        for mid, snap in new.items():
+            prev = old.get(mid)
+            kind = snap["kind"]
+            if kind == "counter":
+                base = prev["total"] if prev else 0.0
+                d = snap["total"] - base
+                if d != 0.0:
+                    out[mid] = {"kind": kind, "total": d}
+            elif kind == "histogram":
+                base_count = prev["count"] if prev else 0
+                base_sum = prev["sum"] if prev else 0.0
+                d_count = snap["count"] - base_count
+                if d_count:
+                    entry: Dict[str, Any] = {
+                        "kind": kind,
+                        "count": d_count,
+                        "sum": snap["sum"] - base_sum,
+                    }
+                    entry["mean"] = entry["sum"] / d_count
+                    if prev:
+                        entry["counts"] = [
+                            n - o for n, o in zip(snap["counts"], prev["counts"])
+                        ]
+                    else:
+                        entry["counts"] = list(snap["counts"])
+                    entry["buckets"] = list(snap["buckets"])
+                    out[mid] = entry
+            else:  # gauge: report the current level if it moved at all
+                if prev is None or snap != prev:
+                    out[mid] = dict(snap)
+        return out
+
+    def to_rows(
+        self, snap: Optional[Dict[str, Dict[str, Any]]] = None
+    ) -> List[Dict[str, Any]]:
+        """Flatten a snapshot into CSV-friendly rows.
+
+        Columns: ``metric, kind, value, count, sum, min, max, mean``
+        where ``value`` is the headline number (counter total, gauge
+        last, histogram mean).
+        """
+        snap = self.snapshot() if snap is None else snap
+        rows: List[Dict[str, Any]] = []
+        for mid, m in snap.items():
+            kind = m["kind"]
+            if kind == "counter":
+                headline = m["total"]
+            elif kind == "gauge":
+                headline = m["last"] if "last" in m else m.get("mean", 0.0)
+            else:
+                headline = m.get("mean", 0.0)
+            rows.append(
+                {
+                    "metric": mid,
+                    "kind": kind,
+                    "value": headline,
+                    "count": m.get("count", ""),
+                    "sum": m.get("sum", ""),
+                    "min": m.get("min", ""),
+                    "max": m.get("max", ""),
+                    "mean": m.get("mean", ""),
+                }
+            )
+        return rows
+
+    def reset(self) -> None:
+        with self._lock:
+            self._metrics.clear()

@@ -1,0 +1,155 @@
+"""Render a span-tree / hotspot report from a JSONL trace.
+
+``repro obs-report trace.jsonl`` uses :func:`render_report`.  Spans are
+aggregated by *name path* (``run > round > local_solve``), so a
+10-round, 20-client trace renders as a handful of tree rows with counts
+and total/mean durations instead of hundreds of raw spans.  Hotspots
+rank span names by **self time** (duration minus direct children), the
+number that actually says where wall time went.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+__all__ = ["render_report"]
+
+
+def load_events(path: str) -> List[Dict[str, Any]]:
+    """Parse a JSONL trace file (raises ``ValueError`` on a bad line)."""
+    events: List[Dict[str, Any]] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                obj = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"{path}:{lineno}: not valid JSON: {exc}") from exc
+            if not isinstance(obj, dict):
+                raise ValueError(f"{path}:{lineno}: event is not an object")
+            events.append(obj)
+    return events
+
+
+def _span_events(events: Iterable[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    return [e for e in events if e.get("type") == "span"]
+
+
+def _name_path(span: Dict[str, Any], by_id: Dict[int, Dict[str, Any]]) -> Tuple[str, ...]:
+    """Ancestor name chain root-first, e.g. ``("run", "round", "eval")``."""
+    path = [span.get("name", "?")]
+    seen = {span.get("span_id")}
+    parent_id = span.get("parent_id")
+    while parent_id is not None and parent_id in by_id and parent_id not in seen:
+        seen.add(parent_id)
+        parent = by_id[parent_id]
+        path.append(parent.get("name", "?"))
+        parent_id = parent.get("parent_id")
+    return tuple(reversed(path))
+
+
+def aggregate_tree(
+    events: Iterable[Dict[str, Any]],
+) -> Dict[Tuple[str, ...], Dict[str, float]]:
+    """Aggregate span events by name path.
+
+    Returns ``{path: {"count": n, "total": secs, "max": secs}}`` sorted
+    by path (so parents precede children when rendered in order).
+    """
+    spans = _span_events(events)
+    by_id = {s.get("span_id"): s for s in spans}
+    agg: Dict[Tuple[str, ...], Dict[str, float]] = {}
+    for span in spans:
+        path = _name_path(span, by_id)
+        node = agg.setdefault(path, {"count": 0, "total": 0.0, "max": 0.0})
+        dur = float(span.get("duration", 0.0))
+        node["count"] += 1
+        node["total"] += dur
+        if dur > node["max"]:
+            node["max"] = dur
+    return dict(sorted(agg.items()))
+
+
+def top_hotspots(
+    events: Iterable[Dict[str, Any]], k: int = 10
+) -> List[Dict[str, Any]]:
+    """Span names ranked by total self time (duration − direct children)."""
+    spans = _span_events(events)
+    child_time: Dict[Optional[int], float] = {}
+    for span in spans:
+        parent_id = span.get("parent_id")
+        if parent_id is not None:
+            child_time[parent_id] = child_time.get(parent_id, 0.0) + float(
+                span.get("duration", 0.0)
+            )
+    self_time: Dict[str, Dict[str, float]] = {}
+    for span in spans:
+        dur = float(span.get("duration", 0.0))
+        own = max(0.0, dur - child_time.get(span.get("span_id"), 0.0))
+        node = self_time.setdefault(
+            span.get("name", "?"), {"count": 0, "self": 0.0, "total": 0.0}
+        )
+        node["count"] += 1
+        node["self"] += own
+        node["total"] += dur
+    ranked = sorted(self_time.items(), key=lambda kv: -kv[1]["self"])
+    return [
+        {"name": name, **stats} for name, stats in ranked[: max(0, int(k))]
+    ]
+
+
+def render_span_tree(events: Iterable[Dict[str, Any]]) -> str:
+    """The aggregated tree as indented text."""
+    agg = aggregate_tree(events)
+    if not agg:
+        return "(no span events)"
+    lines = [f"{'count':>7s} {'total':>10s} {'mean':>10s} {'max':>10s}  span"]
+    for path, node in agg.items():
+        mean = node["total"] / node["count"] if node["count"] else 0.0
+        indent = "  " * (len(path) - 1)
+        lines.append(
+            f"{int(node['count']):7d} {node['total']:9.4f}s {mean:9.4f}s "
+            f"{node['max']:9.4f}s  {indent}{path[-1]}"
+        )
+    return "\n".join(lines)
+
+
+def render_hotspots(events: Iterable[Dict[str, Any]], k: int = 10) -> str:
+    """The top-k hotspot table as text."""
+    rows = top_hotspots(events, k)
+    if not rows:
+        return "(no span events)"
+    lines = [f"{'self':>10s} {'total':>10s} {'count':>7s}  span"]
+    for row in rows:
+        lines.append(
+            f"{row['self']:9.4f}s {row['total']:9.4f}s "
+            f"{int(row['count']):7d}  {row['name']}"
+        )
+    return "\n".join(lines)
+
+
+def render_report(path: str, *, top: int = 10) -> str:
+    """Full ``obs-report`` output for one JSONL trace file."""
+    events = load_events(path)
+    spans = _span_events(events)
+    meta = next((e for e in events if e.get("type") == "meta"), None)
+    rounds = [e for e in events if e.get("type") == "round_metrics"]
+    header = [
+        f"trace: {path}",
+        f"schema: {meta.get('schema') if meta else '(no meta event)'}",
+        f"events: {len(list(events))} ({len(spans)} spans, "
+        f"{len(rounds)} round-metric records)",
+    ]
+    sim_times = [e["sim_time"] for e in spans if e.get("sim_time") is not None]
+    if sim_times:
+        header.append(f"final simulated time: {max(sim_times):.4f}")
+    sections = [
+        "\n".join(header),
+        "span tree\n---------\n" + render_span_tree(events),
+        f"top-{top} hotspots (self time)\n-----------------------------\n"
+        + render_hotspots(events, top),
+    ]
+    return "\n\n".join(sections) + "\n"

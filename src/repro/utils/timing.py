@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List
+from typing import Dict, Iterable, List, Tuple
 
 
 @dataclass
@@ -35,6 +35,16 @@ class SimulatedClock:
         self.elapsed += duration
         self.round_durations.append(duration)
         return duration
+
+    def snapshot(self) -> Tuple[float, int, float]:
+        """``(elapsed, num_rounds, last_duration)`` without touching internals.
+
+        Telemetry sinks stamp simulated time through this instead of
+        reaching into :attr:`round_durations`; ``last_duration`` is
+        ``0.0`` before the first round.
+        """
+        last = self.round_durations[-1] if self.round_durations else 0.0
+        return (self.elapsed, len(self.round_durations), last)
 
     def reset(self) -> None:
         """Zero the clock and clear history."""

@@ -78,6 +78,26 @@ class TestTrainingHistory:
         assert payload["algorithm"] == "fedavg"
         assert len(payload["records"]) == 3
 
+    def test_straggler_gap_roundtrips_through_json(self, tmp_path):
+        h = TrainingHistory("fedavg", "toy")
+        r = record(1, 1.0)
+        r.straggler_gap = 0.125
+        h.append(r)
+        path = tmp_path / "hist.json"
+        h.to_json(str(path))
+        back = TrainingHistory.from_dict(json.loads(path.read_text()))
+        assert back.records[0].straggler_gap == 0.125
+        assert back.series("straggler_gap") == [0.125]
+
+    def test_loads_old_files_without_straggler_gap(self):
+        # histories serialized before the field existed must still load
+        h = self.make()
+        payload = h.to_dict()
+        for rec in payload["records"]:
+            del rec["straggler_gap"]
+        back = TrainingHistory.from_dict(payload)
+        assert all(r.straggler_gap is None for r in back.records)
+
 
 class TestFormatComparison:
     def test_contains_all_algorithms(self):

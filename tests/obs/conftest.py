@@ -1,0 +1,30 @@
+"""Fixtures for the observability suite.
+
+The telemetry facade is a process-global singleton; every test that
+enables it must leave it disabled for the rest of the session.  The
+autouse fixture enforces that even when a test fails mid-session.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import InMemorySink, telemetry
+
+
+@pytest.fixture(autouse=True)
+def _clean_telemetry():
+    assert not telemetry.enabled, "telemetry leaked in from a previous test"
+    yield
+    if telemetry.enabled:
+        telemetry.shutdown()
+
+
+@pytest.fixture()
+def memory_session():
+    """An enabled telemetry session backed by one in-memory sink."""
+    sink = InMemorySink()
+    telemetry.configure([sink])
+    yield sink
+    if telemetry.enabled:
+        telemetry.shutdown()

@@ -1,0 +1,152 @@
+"""Stdlib validator for the ``repro.obs/v1`` JSONL event schema.
+
+Used two ways:
+
+* imported by the obs test suite (``validate_event`` / ``validate_file``);
+* run by CI as a script over a real trace::
+
+      python tests/obs/schema_validator.py trace.jsonl
+
+  exits non-zero and prints one line per violation if any event does
+  not conform to the schema documented in ``docs/OBSERVABILITY.md``.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import Any, Dict, List, Optional
+
+NUMBER = (int, float)
+
+#: event type -> {field: (types, required)}
+_SPEC: Dict[str, Dict[str, tuple]] = {
+    "meta": {
+        "schema": ((str,), True),
+        "nn_profiling": ((bool,), True),
+        "attrs": ((dict,), False),
+    },
+    "span": {
+        "name": ((str,), True),
+        "span_id": ((int,), True),
+        "parent_id": ((int, type(None)), True),
+        "t_wall": (NUMBER, True),
+        "duration": (NUMBER, True),
+        "thread": ((str,), True),
+        "attrs": ((dict,), True),
+        "sim_time": (NUMBER + (type(None),), True),
+    },
+    "round_metrics": {
+        "round": ((int,), True),
+        "sim_time": (NUMBER + (type(None),), True),
+        "metrics": ((dict,), True),
+    },
+    "run_summary": {
+        "sim_time": (NUMBER + (type(None),), True),
+        "metrics": ((dict,), True),
+        "spans_emitted": ((int,), True),
+    },
+}
+
+_METRIC_KINDS = ("counter", "gauge", "histogram")
+
+
+def _validate_metrics(metrics: Any, where: str, errors: List[str]) -> None:
+    if not isinstance(metrics, dict):
+        errors.append(f"{where}: 'metrics' must be an object")
+        return
+    for mid, m in metrics.items():
+        if not isinstance(m, dict) or m.get("kind") not in _METRIC_KINDS:
+            errors.append(f"{where}: metric {mid!r} has no valid 'kind'")
+            continue
+        kind = m["kind"]
+        if kind == "counter" and not isinstance(m.get("total"), NUMBER):
+            errors.append(f"{where}: counter {mid!r} missing numeric 'total'")
+        if kind == "histogram":
+            counts, buckets = m.get("counts"), m.get("buckets")
+            if not isinstance(counts, list) or not isinstance(buckets, list):
+                errors.append(
+                    f"{where}: histogram {mid!r} missing 'counts'/'buckets'"
+                )
+            elif len(counts) != len(buckets) + 1:
+                errors.append(
+                    f"{where}: histogram {mid!r} needs len(counts) == "
+                    f"len(buckets) + 1"
+                )
+
+
+def validate_event(event: Any, where: str = "event") -> List[str]:
+    """All schema violations for one parsed event (empty list = valid)."""
+    errors: List[str] = []
+    if not isinstance(event, dict):
+        return [f"{where}: not a JSON object"]
+    etype = event.get("type")
+    spec = _SPEC.get(etype) if isinstance(etype, str) else None
+    if spec is None:
+        return [f"{where}: unknown event type {etype!r}"]
+    for field, (types, required) in spec.items():
+        if field not in event:
+            if required:
+                errors.append(f"{where}: {etype} event missing field {field!r}")
+            continue
+        if not isinstance(event[field], types):
+            errors.append(
+                f"{where}: {etype}.{field} has type "
+                f"{type(event[field]).__name__}, expected one of "
+                f"{tuple(t.__name__ for t in types)}"
+            )
+    known = set(spec) | {"type"}
+    for field in event:
+        if field not in known:
+            errors.append(f"{where}: {etype} event has unknown field {field!r}")
+    if etype == "span" and isinstance(event.get("duration"), NUMBER):
+        if event["duration"] < 0:
+            errors.append(f"{where}: span duration is negative")
+    if etype in ("round_metrics", "run_summary") and "metrics" in event:
+        _validate_metrics(event["metrics"], where, errors)
+    return errors
+
+
+def validate_file(path: str) -> List[str]:
+    """Schema violations across a whole JSONL trace file."""
+    errors: List[str] = []
+    first_type: Optional[str] = None
+    count = 0
+    with open(path, "r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line:
+                continue
+            where = f"{path}:{lineno}"
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError as exc:
+                errors.append(f"{where}: invalid JSON ({exc})")
+                continue
+            count += 1
+            if first_type is None and isinstance(event, dict):
+                first_type = event.get("type")
+            errors.extend(validate_event(event, where))
+    if count == 0:
+        errors.append(f"{path}: trace contains no events")
+    elif first_type != "meta":
+        errors.append(f"{path}: first event must be 'meta', got {first_type!r}")
+    return errors
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if len(argv) != 1:
+        print("usage: python tests/obs/schema_validator.py TRACE.jsonl",
+              file=sys.stderr)
+        return 2
+    errors = validate_file(argv[0])
+    for err in errors:
+        print(err, file=sys.stderr)
+    if not errors:
+        print(f"{argv[0]}: ok")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,176 @@
+"""End-to-end instrumentation tests over the federated stack.
+
+These run real (tiny) federated experiments with telemetry enabled and
+check the acceptance-level properties: traces validate against the
+schema, round spans account for the run wall time, straggler gaps reach
+``RoundRecord``, solver counters reconcile with history, and the nn
+profiling hook produces per-layer timings only when asked.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.fl.runner import FederatedRunConfig, run_federated
+from repro.models import make_mlp_model
+from repro.obs import InMemorySink, JsonlSink, telemetry
+from repro.obs.report import render_report
+from tests.obs.schema_validator import validate_file
+
+
+def _config(**overrides):
+    base = dict(
+        algorithm="fedproxvr-sarah",
+        num_rounds=4,
+        num_local_steps=5,
+        beta=5.0,
+        mu=0.1,
+        batch_size=16,
+        seed=0,
+        eval_every=1,
+    )
+    base.update(overrides)
+    return FederatedRunConfig(**base)
+
+
+class TestTracedRun:
+    @pytest.fixture()
+    def traced_run(self, tiny_dataset, tiny_model_factory, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        sink = InMemorySink()
+        telemetry.configure([JsonlSink(str(path)), sink])
+        try:
+            history, _ = run_federated(
+                tiny_dataset, tiny_model_factory, _config()
+            )
+        finally:
+            telemetry.shutdown()
+        return history, path, sink
+
+    def test_trace_validates_and_report_renders(self, traced_run):
+        history, path, _ = traced_run
+        assert validate_file(str(path)) == []
+        report = render_report(str(path), top=5)
+        assert "span tree" in report
+        assert "local_solve" in report
+        assert "round" in report
+
+    def test_round_durations_sum_to_run_wall_time(self, traced_run):
+        _, _, sink = traced_run
+        spans = sink.by_type("span")
+        run = [e for e in spans if e["name"] == "run"]
+        rounds = [e for e in spans if e["name"] == "round"]
+        assert len(run) == 1 and len(rounds) == 4
+        round_total = sum(e["duration"] for e in rounds)
+        # rounds are the run span's only substantive children: their
+        # durations must account for (almost) all of the run wall time
+        assert round_total <= run[0]["duration"] + 1e-9
+        assert round_total >= 0.8 * run[0]["duration"]
+
+    def test_straggler_gap_recorded_in_history(self, traced_run):
+        history, _, _ = traced_run
+        for record in history.records:
+            assert record.straggler_gap is not None
+            assert record.straggler_gap >= 0.0
+
+    def test_counters_reconcile_with_history(self, traced_run):
+        history, _, sink = traced_run
+        num_clients = 6
+        expected_evals = sum(
+            r.mean_gradient_evaluations * num_clients for r in history.records
+        )
+        summary = sink.by_type("run_summary")[0]
+        total = summary["metrics"]["fl.client.grad_evals{fedproxvr-sarah}"]["total"]
+        assert total == pytest.approx(expected_evals)
+
+    def test_round_metric_events_cover_every_round(self, traced_run):
+        _, _, sink = traced_run
+        rounds = [e["round"] for e in sink.by_type("round_metrics")]
+        assert rounds == [1, 2, 3, 4]
+        for event in sink.by_type("round_metrics"):
+            assert event["sim_time"] is not None
+
+    def test_sim_time_stamped_on_round_spans(self, traced_run):
+        _, _, sink = traced_run
+        rounds = [e for e in sink.by_type("span") if e["name"] == "round"]
+        sim_times = [e["sim_time"] for e in rounds]
+        assert all(t is not None for t in sim_times)
+        assert sim_times == sorted(sim_times)  # simulated time is monotone
+
+
+class TestDisabledRunUnchanged:
+    def test_no_events_and_no_straggler_gap(self, tiny_dataset, tiny_model_factory):
+        assert not telemetry.enabled
+        history, _ = run_federated(tiny_dataset, tiny_model_factory, _config())
+        for record in history.records:
+            assert record.straggler_gap is None
+
+    def test_results_identical_with_and_without_telemetry(
+        self, tiny_dataset, tiny_model_factory
+    ):
+        history_off, w_off = run_federated(
+            tiny_dataset, tiny_model_factory, _config()
+        )
+        telemetry.configure([InMemorySink()])
+        try:
+            history_on, w_on = run_federated(
+                tiny_dataset, tiny_model_factory, _config()
+            )
+        finally:
+            telemetry.shutdown()
+        np.testing.assert_array_equal(w_off, w_on)
+        assert history_off.series("train_loss") == history_on.series("train_loss")
+
+
+class TestThreadExecutorRun:
+    def test_traced_thread_run_matches_sequential(
+        self, tiny_dataset, tiny_model_factory, tmp_path
+    ):
+        path = tmp_path / "thread.jsonl"
+        telemetry.configure([JsonlSink(str(path))])
+        try:
+            history_thread, w_thread = run_federated(
+                tiny_dataset, tiny_model_factory,
+                _config(executor="thread", max_workers=4),
+            )
+        finally:
+            telemetry.shutdown()
+        history_seq, w_seq = run_federated(
+            tiny_dataset, tiny_model_factory, _config()
+        )
+        np.testing.assert_allclose(w_thread, w_seq)
+        assert validate_file(str(path)) == []
+
+
+class TestNNProfiling:
+    def _mlp_factory(self, dataset):
+        return lambda: make_mlp_model(
+            dataset.num_features, dataset.num_classes, (8,), seed=0
+        )
+
+    def test_layer_timings_only_when_opted_in(self, tiny_dataset):
+        factory = self._mlp_factory(tiny_dataset)
+        config = _config(num_rounds=1, algorithm="fedavg", mu=0.1)
+
+        telemetry.configure([InMemorySink()])
+        try:
+            run_federated(tiny_dataset, factory, config)
+            snap_plain = telemetry.metrics.snapshot()
+        finally:
+            telemetry.shutdown()
+        assert not any(m.startswith("nn.layer.") for m in snap_plain)
+
+        telemetry.configure([InMemorySink()], nn_profiling=True)
+        try:
+            run_federated(tiny_dataset, factory, config)
+            snap_prof = telemetry.metrics.snapshot()
+        finally:
+            telemetry.shutdown()
+        forward = [m for m in snap_prof if m.startswith("nn.layer.forward_seconds")]
+        backward = [m for m in snap_prof if m.startswith("nn.layer.backward_seconds")]
+        assert forward and backward
+        # per-layer keys like "0:Dense" / "1:ReLU" appear in the metric id
+        assert any("Dense" in m for m in forward)
+        for mid in forward:
+            assert snap_prof[mid]["count"] > 0

@@ -1,0 +1,129 @@
+"""Tests for the metrics registry (counters, gauges, histograms, deltas)."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.obs import Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_accumulates(self):
+        reg = MetricsRegistry()
+        reg.counter_add("evals", 3)
+        reg.counter_add("evals", 2.5)
+        assert reg.snapshot()["evals"]["total"] == 5.5
+
+    def test_keys_are_separate_series(self):
+        reg = MetricsRegistry()
+        reg.counter_add("steps", 1, key="sarah")
+        reg.counter_add("steps", 2, key="svrg")
+        snap = reg.snapshot()
+        assert snap["steps{sarah}"]["total"] == 1.0
+        assert snap["steps{svrg}"]["total"] == 2.0
+
+    def test_negative_rejected(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError):
+            reg.counter_add("c", -1)
+
+
+class TestGauge:
+    def test_tracks_last_min_max_mean(self):
+        reg = MetricsRegistry()
+        for v in (2.0, 0.5, 1.0):
+            reg.gauge_set("theta", v)
+        snap = reg.snapshot()["theta"]
+        assert snap["last"] == 1.0
+        assert snap["min"] == 0.5
+        assert snap["max"] == 2.0
+        assert snap["mean"] == pytest.approx(3.5 / 3)
+        assert snap["count"] == 3
+
+
+class TestHistogram:
+    def test_bucket_assignment(self):
+        h = Histogram(buckets=(1.0, 10.0))
+        for v in (0.5, 1.0, 5.0, 100.0):
+            h.observe(v)
+        snap = h.snapshot()
+        # <=1, <=10, overflow
+        assert snap["counts"] == [2, 1, 1]
+        assert snap["count"] == 4
+        assert snap["min"] == 0.5
+        assert snap["max"] == 100.0
+
+    def test_rejects_bad_buckets(self):
+        with pytest.raises(ValueError):
+            Histogram(buckets=())
+        with pytest.raises(ValueError):
+            Histogram(buckets=(2.0, 1.0))
+
+    def test_registry_observe_custom_buckets(self):
+        reg = MetricsRegistry()
+        reg.observe("dist", 0.3, buckets=(0.25, 0.5, 1.0))
+        snap = reg.snapshot()["dist"]
+        assert snap["counts"] == [0, 1, 0, 0]
+
+
+class TestDelta:
+    def test_counter_and_histogram_differenced(self):
+        reg = MetricsRegistry()
+        reg.counter_add("c", 5)
+        reg.observe("h", 0.1)
+        base = reg.snapshot()
+        reg.counter_add("c", 7)
+        reg.observe("h", 0.2)
+        delta = MetricsRegistry.delta(reg.snapshot(), base)
+        assert delta["c"]["total"] == 7.0
+        assert delta["h"]["count"] == 1
+        assert delta["h"]["sum"] == pytest.approx(0.2)
+
+    def test_untouched_metrics_absent_from_delta(self):
+        reg = MetricsRegistry()
+        reg.counter_add("c", 5)
+        base = reg.snapshot()
+        delta = MetricsRegistry.delta(reg.snapshot(), base)
+        assert delta == {}
+
+    def test_gauge_passes_through_current_level(self):
+        reg = MetricsRegistry()
+        reg.gauge_set("g", 1.0)
+        base = reg.snapshot()
+        reg.gauge_set("g", 3.0)
+        delta = MetricsRegistry.delta(reg.snapshot(), base)
+        assert delta["g"]["last"] == 3.0
+
+
+class TestThreadSafety:
+    def test_concurrent_counter_adds_lose_nothing(self):
+        reg = MetricsRegistry()
+        n_threads, n_adds = 8, 500
+
+        def work():
+            for _ in range(n_adds):
+                reg.counter_add("hits")
+                reg.observe("lat", 0.001)
+
+        threads = [threading.Thread(target=work) for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        snap = reg.snapshot()
+        assert snap["hits"]["total"] == n_threads * n_adds
+        assert snap["lat"]["count"] == n_threads * n_adds
+
+
+class TestRows:
+    def test_to_rows_headline_values(self):
+        reg = MetricsRegistry()
+        reg.counter_add("c", 4)
+        reg.gauge_set("g", 2.0)
+        reg.observe("h", 1.0, buckets=(10.0,))
+        rows = {r["metric"]: r for r in reg.to_rows()}
+        assert rows["c"]["value"] == 4.0
+        assert rows["g"]["value"] == 2.0
+        assert rows["h"]["value"] == 1.0  # histogram headline = mean

@@ -1,0 +1,102 @@
+"""Tests for the obs-report renderer over synthetic traces."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.report import (
+    aggregate_tree,
+    load_events,
+    render_report,
+    top_hotspots,
+)
+
+
+def _span(span_id, parent_id, name, duration, **attrs):
+    return {
+        "type": "span", "name": name, "span_id": span_id,
+        "parent_id": parent_id, "t_wall": 0.0, "duration": duration,
+        "thread": "MainThread", "attrs": attrs, "sim_time": None,
+    }
+
+
+@pytest.fixture()
+def trace_file(tmp_path):
+    events = [
+        {"type": "meta", "schema": "repro.obs/v1", "nn_profiling": False},
+        _span(2, 1, "round", 0.6, s=1),
+        _span(3, 1, "round", 0.4, s=2),
+        _span(4, 2, "local_solve", 0.5, client=0, round=1),
+        _span(5, 3, "local_solve", 0.3, client=0, round=2),
+        _span(1, None, "run", 1.0),
+        {"type": "round_metrics", "round": 1, "sim_time": 1.0, "metrics": {}},
+    ]
+    path = tmp_path / "trace.jsonl"
+    with open(path, "w") as fh:
+        for e in events:
+            fh.write(json.dumps(e) + "\n")
+    return str(path)
+
+
+class TestLoadEvents:
+    def test_roundtrip(self, trace_file):
+        events = load_events(trace_file)
+        assert len(events) == 7
+
+    def test_bad_json_raises_with_line_number(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"type": "meta"}\nnot json\n')
+        with pytest.raises(ValueError, match=":2"):
+            load_events(str(path))
+
+    def test_non_object_line_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("[1, 2]\n")
+        with pytest.raises(ValueError, match="not an object"):
+            load_events(str(path))
+
+
+class TestAggregateTree:
+    def test_paths_and_totals(self, trace_file):
+        agg = aggregate_tree(load_events(trace_file))
+        assert agg[("run",)]["count"] == 1
+        assert agg[("run", "round")]["count"] == 2
+        assert agg[("run", "round")]["total"] == pytest.approx(1.0)
+        assert agg[("run", "round", "local_solve")]["total"] == pytest.approx(0.8)
+        assert agg[("run", "round")]["max"] == pytest.approx(0.6)
+
+    def test_orphan_parent_id_tolerated(self):
+        # parent_id pointing at a span missing from the trace (e.g. the
+        # file was truncated) must not crash or loop
+        agg = aggregate_tree([_span(7, 99, "orphan", 0.1)])
+        assert agg == {("orphan",): {"count": 1, "total": 0.1, "max": 0.1}}
+
+
+class TestHotspots:
+    def test_self_time_subtracts_children(self, trace_file):
+        rows = {r["name"]: r for r in top_hotspots(load_events(trace_file), 10)}
+        assert rows["local_solve"]["self"] == pytest.approx(0.8)
+        # rounds: (0.6 - 0.5) + (0.4 - 0.3)
+        assert rows["round"]["self"] == pytest.approx(0.2)
+        assert rows["run"]["self"] == pytest.approx(0.0)
+
+    def test_k_limits_rows(self, trace_file):
+        assert len(top_hotspots(load_events(trace_file), 1)) == 1
+
+
+class TestRenderReport:
+    def test_contains_sections_and_names(self, trace_file):
+        text = render_report(trace_file, top=3)
+        assert "span tree" in text
+        assert "hotspots" in text
+        assert "local_solve" in text
+        assert "repro.obs/v1" in text
+        assert "final simulated time" not in text  # spans carry no sim_time
+
+    def test_empty_trace(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        text = render_report(str(path))
+        assert "(no span events)" in text

@@ -1,0 +1,81 @@
+"""Tests for the stdlib schema validator itself."""
+
+from __future__ import annotations
+
+import json
+
+from tests.obs import schema_validator as sv
+
+
+def _valid_span():
+    return {
+        "type": "span", "name": "round", "span_id": 1, "parent_id": None,
+        "t_wall": 1.0, "duration": 0.1, "thread": "MainThread",
+        "attrs": {"s": 1}, "sim_time": None,
+    }
+
+
+class TestValidateEvent:
+    def test_valid_span_passes(self):
+        assert sv.validate_event(_valid_span()) == []
+
+    def test_unknown_type_flagged(self):
+        assert sv.validate_event({"type": "mystery"})
+
+    def test_missing_required_field(self):
+        span = _valid_span()
+        del span["duration"]
+        errors = sv.validate_event(span)
+        assert any("duration" in e for e in errors)
+
+    def test_wrong_type_flagged(self):
+        span = _valid_span()
+        span["span_id"] = "one"
+        errors = sv.validate_event(span)
+        assert any("span_id" in e for e in errors)
+
+    def test_unknown_field_flagged(self):
+        span = _valid_span()
+        span["surprise"] = 1
+        errors = sv.validate_event(span)
+        assert any("surprise" in e for e in errors)
+
+    def test_negative_duration_flagged(self):
+        span = _valid_span()
+        span["duration"] = -0.5
+        assert any("negative" in e for e in sv.validate_event(span))
+
+    def test_histogram_shape_checked(self):
+        event = {
+            "type": "round_metrics", "round": 1, "sim_time": None,
+            "metrics": {
+                "h": {"kind": "histogram", "count": 1, "sum": 0.1,
+                      "buckets": [1.0, 2.0], "counts": [1, 0]},
+            },
+        }
+        errors = sv.validate_event(event)
+        assert any("len(counts)" in e for e in errors)
+
+
+class TestValidateFile:
+    def test_empty_file_is_invalid(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text("")
+        assert sv.validate_file(str(path))
+
+    def test_first_event_must_be_meta(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text(json.dumps(_valid_span()) + "\n")
+        errors = sv.validate_file(str(path))
+        assert any("meta" in e for e in errors)
+
+    def test_cli_main(self, tmp_path, capsys):
+        path = tmp_path / "t.jsonl"
+        with open(path, "w") as fh:
+            fh.write(json.dumps({"type": "meta", "schema": "repro.obs/v1",
+                                 "nn_profiling": False}) + "\n")
+            fh.write(json.dumps(_valid_span()) + "\n")
+        assert sv.main([str(path)]) == 0
+        assert sv.main([]) == 2
+        path.write_text("garbage\n")
+        assert sv.main([str(path)]) == 1

@@ -42,6 +42,34 @@ class TestSimulatedClock:
         assert clock.elapsed == 0.0
         assert clock.round_durations == []
 
+    def test_reset_clears_round_durations_regression(self):
+        # regression guard: a reset clock must not leak old durations
+        # into snapshot()'s num_rounds / last_duration
+        clock = SimulatedClock()
+        clock.advance_round([1.0])
+        clock.advance_round([2.0])
+        clock.reset()
+        assert clock.snapshot() == (0.0, 0, 0.0)
+        clock.advance_round([3.0])
+        assert clock.round_durations == [3.0]
+
+    def test_snapshot(self):
+        clock = SimulatedClock()
+        assert clock.snapshot() == (0.0, 0, 0.0)
+        clock.advance_round([1.5])
+        clock.advance_round([0.5], server_delay=0.25)
+        elapsed, num_rounds, last = clock.snapshot()
+        assert elapsed == 2.25
+        assert num_rounds == 2
+        assert last == 0.75
+
+    def test_snapshot_is_read_only(self):
+        clock = SimulatedClock()
+        clock.advance_round([1.0])
+        before = list(clock.round_durations)
+        clock.snapshot()
+        assert clock.round_durations == before
+
 
 class TestWallClockTimer:
     def test_records_laps(self):

@@ -34,6 +34,7 @@ DEFAULT_LAYERS: Dict[str, int] = {
     "repro": 99,
     "repro.exceptions": 0,
     "repro.utils": 0,
+    "repro.obs": 0,
     "repro.nn": 1,
     "repro.models": 1,
     "repro.datasets": 1,
