@@ -1,0 +1,156 @@
+"""Shared-memory array placement for multi-process executors.
+
+A :class:`ShmArena` owns a set of named ``multiprocessing.shared_memory``
+segments holding ndarrays.  The intended protocol for a process-pool
+executor is:
+
+1. the parent ``put``s every client's data shard (and a writable
+   broadcast block for the per-round global model) into the arena once,
+   at pool start-up;
+2. task payloads carry only ``(client_id, round_index)`` — workers
+   ``attach`` the named segments lazily and reuse the mapping for every
+   subsequent task, so neither model weights nor data shards are ever
+   pickled per task;
+3. the parent ``close``s (and unlinks) the arena when training ends.
+
+Attached views are read-shared memory: workers must treat ``put`` arrays
+as immutable, while ``create`` blocks are single-writer (the parent)
+with readers synchronized by the task queue (a worker only reads the
+broadcast block while handling a task submitted *after* the write).
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["ArraySpec", "ShmArena", "attach_array"]
+
+_ATTACH_LOCK = threading.Lock()
+
+
+@dataclass(frozen=True)
+class ArraySpec:
+    """Everything a process needs to map one shared array: name + layout."""
+
+    shm_name: str
+    shape: Tuple[int, ...]
+    dtype: str
+
+    @property
+    def nbytes(self) -> int:
+        return int(np.prod(self.shape, dtype=np.int64)) * np.dtype(self.dtype).itemsize
+
+
+@contextmanager
+def _untracked_attach():
+    """Suppress resource-tracker registration while attaching.
+
+    Attach-only processes must not let the tracker "clean up" (unlink)
+    segments the creating process still owns — the well-known
+    resource_tracker over-zealousness (bpo-38119).  Python 3.13 grows a
+    ``track=False`` parameter for exactly this; on earlier versions the
+    standard workaround is to skip registration during the attach (an
+    after-the-fact ``unregister`` would double-remove when several
+    workers sharing one tracker attach the same segment).
+    """
+    try:
+        from multiprocessing import resource_tracker
+    except ImportError:  # pragma: no cover - platforms without a tracker
+        yield
+        return
+    with _ATTACH_LOCK:
+        original = resource_tracker.register
+
+        def _skip_shm(name, rtype):
+            if rtype != "shared_memory":
+                original(name, rtype)
+
+        resource_tracker.register = _skip_shm
+        try:
+            yield
+        finally:
+            resource_tracker.register = original
+
+
+def attach_array(spec: ArraySpec) -> Tuple[np.ndarray, shared_memory.SharedMemory]:
+    """Map an existing segment as an ndarray.
+
+    Returns ``(array, handle)``; the caller must keep ``handle`` alive
+    for as long as the array is used and ``handle.close()`` it when
+    done.  The mapping is never registered with the local resource
+    tracker — only the creating :class:`ShmArena` unlinks.
+    """
+    with _untracked_attach():
+        handle = shared_memory.SharedMemory(name=spec.shm_name)
+    array = np.ndarray(spec.shape, dtype=np.dtype(spec.dtype), buffer=handle.buf)
+    return array, handle
+
+
+class ShmArena:
+    """Creator-side registry of shared-memory arrays (owns the segments)."""
+
+    def __init__(self) -> None:
+        self._segments: Dict[str, shared_memory.SharedMemory] = {}
+        self._closed = False
+
+    def put(self, array: np.ndarray) -> ArraySpec:
+        """Copy ``array`` into a fresh shared segment; returns its spec."""
+        self._check_open()
+        array = np.ascontiguousarray(array)
+        # shm segments must be non-empty; keep 1 byte for 0-size arrays.
+        shm = shared_memory.SharedMemory(create=True, size=max(1, array.nbytes))
+        spec = ArraySpec(shm.name, tuple(array.shape), array.dtype.str)
+        view = np.ndarray(array.shape, dtype=array.dtype, buffer=shm.buf)
+        view[...] = array
+        self._segments[shm.name] = shm
+        return spec
+
+    def create(self, shape, dtype=np.float64) -> Tuple[ArraySpec, np.ndarray]:
+        """Allocate a writable shared block (e.g. the broadcast model).
+
+        Returns ``(spec, view)`` — the view stays valid until
+        :meth:`close` and may be rewritten in place between rounds.
+        """
+        self._check_open()
+        dtype = np.dtype(dtype)
+        nbytes = int(np.prod(shape, dtype=np.int64)) * dtype.itemsize
+        shm = shared_memory.SharedMemory(create=True, size=max(1, nbytes))
+        spec = ArraySpec(shm.name, tuple(int(d) for d in shape), dtype.str)
+        view = np.ndarray(spec.shape, dtype=dtype, buffer=shm.buf)
+        view[...] = 0.0
+        self._segments[shm.name] = shm
+        return spec, view
+
+    def close(self) -> None:
+        """Close and unlink every owned segment (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        segments, self._segments = self._segments, {}
+        for shm in segments.values():
+            try:
+                shm.close()
+                shm.unlink()
+            except FileNotFoundError:
+                pass
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ConfigurationError("ShmArena already closed")
+
+    def __len__(self) -> int:
+        return len(self._segments)
+
+    def __enter__(self) -> "ShmArena":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

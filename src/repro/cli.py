@@ -29,7 +29,7 @@ from repro.datasets import make_digits, make_fashion, make_synthetic
 from repro.datasets.base import FederatedDataset
 from repro.exceptions import ConfigurationError, InfeasibleParametersError
 from repro.fl.history import format_comparison
-from repro.fl.runner import FederatedRunConfig, run_federated
+from repro.fl.runner import EXECUTOR_CHOICES, FederatedRunConfig, run_federated
 from repro.models import (
     Model,
     MultinomialLogisticModel,
@@ -93,7 +93,9 @@ def _add_run_options(p: argparse.ArgumentParser) -> None:
     p.add_argument("--batch-size", "-B", type=int, default=32)
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--eval-every", type=int, default=5)
-    p.add_argument("--executor", choices=("sequential", "thread"), default="sequential")
+    p.add_argument("--executor", choices=EXECUTOR_CHOICES, default="sequential",
+                   help="client scheduling: 'batched' runs homogeneous cohorts "
+                        "as stacked solves (see docs/PERFORMANCE.md)")
     p.add_argument("--output", help="write the history JSON here")
     p.add_argument("--trace", metavar="PATH",
                    help="enable telemetry and write the JSONL event trace here "

@@ -127,10 +127,159 @@ class SARAHEstimator(GradientEstimator):
         return v_t.copy()
 
 
+class BatchedGradientEstimator(ABC):
+    """Stacked-cohort counterpart of :class:`GradientEstimator`.
+
+    Operates on ``(K, D)`` parameter/gradient stacks — one row per
+    client of a homogeneous cohort — with minibatch gradients supplied
+    by a :class:`repro.models.batched.BatchKernel`-shaped callable.
+    Row ``k`` of every update reproduces, bit for bit, the arithmetic
+    the sequential estimator performs for client ``k``: the recursions
+    (8a)/(8b) are elementwise, so stacking K clients changes nothing
+    but the array rank.
+
+    ``num_evaluations`` counts minibatch gradient evaluations *per
+    client* (the same number for every row), matching the sequential
+    estimator's ``d_cmp`` bookkeeping.
+    """
+
+    #: mirrors the sequential estimator's ``name``
+    name: str = "abstract"
+
+    def __init__(self) -> None:
+        self.num_evaluations = 0
+
+    @abstractmethod
+    def start_epoch(self, W0: np.ndarray, full_grads: np.ndarray) -> np.ndarray:
+        """Begin K inner loops at anchor stack ``W0`` with ``V_0`` rows."""
+
+    @abstractmethod
+    def estimate(
+        self,
+        kernel,
+        X_batch: np.ndarray,
+        y_batch: np.ndarray,
+        W_t: np.ndarray,
+    ) -> np.ndarray:
+        """Produce the ``(K, D)`` stack of ``v_t`` for the minibatch stack."""
+
+
+class BatchedSGDEstimator(BatchedGradientEstimator):
+    """Stacked vanilla stochastic gradient: ``v_t = g_B(w_t)`` per row.
+
+    The returned stack is a reused buffer, valid until the next
+    ``estimate`` call (all batched estimators share this contract — the
+    cohort solvers consume ``v_t`` before sampling the next minibatch).
+    """
+
+    name = "sgd"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._g: Optional[np.ndarray] = None
+
+    def start_epoch(self, W0, full_grads):
+        self._g = np.empty_like(np.asarray(full_grads, dtype=np.float64))
+        return np.array(full_grads, dtype=np.float64, copy=True)
+
+    def estimate(self, kernel, X_batch, y_batch, W_t):
+        self.num_evaluations += 1
+        if self._g is None or self._g.shape != W_t.shape:
+            self._g = np.empty_like(W_t)
+        return kernel.gradient_stack(W_t, X_batch, y_batch, out=self._g)
+
+
+class BatchedSVRGEstimator(BatchedGradientEstimator):
+    """Stacked SVRG (8b): each row anchored at its client's ``w_0``.
+
+    ``estimate`` computes ``(g_now - g_anchor) + v_0`` with the same
+    elementwise operation order as the sequential estimator, into
+    reused buffers — each returned row is bit-identical and valid until
+    the next ``estimate`` call.
+    """
+
+    name = "svrg"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._W0: Optional[np.ndarray] = None
+        self._V0: Optional[np.ndarray] = None
+        self._g_now: Optional[np.ndarray] = None
+        self._g_anchor: Optional[np.ndarray] = None
+
+    def start_epoch(self, W0, full_grads):
+        self._W0 = np.array(W0, dtype=np.float64, copy=True)
+        self._V0 = np.array(full_grads, dtype=np.float64, copy=True)
+        self._g_now = np.empty_like(self._V0)
+        self._g_anchor = np.empty_like(self._V0)
+        return self._V0.copy()
+
+    def estimate(self, kernel, X_batch, y_batch, W_t):
+        if self._W0 is None or self._V0 is None:
+            raise ConfigurationError("estimate() called before start_epoch()")
+        self.num_evaluations += 2
+        g_now = kernel.gradient_stack(W_t, X_batch, y_batch, out=self._g_now)
+        g_anchor = kernel.gradient_stack(
+            self._W0, X_batch, y_batch, out=self._g_anchor
+        )
+        np.subtract(g_now, g_anchor, out=g_now)
+        np.add(g_now, self._V0, out=g_now)
+        return g_now
+
+
+class BatchedSARAHEstimator(BatchedGradientEstimator):
+    """Stacked SARAH (8a): rows track their client's previous iterate.
+
+    Buffers rotate: the stack holding ``v_t`` becomes the retained
+    ``v_{t-1}`` of the next step, and the retired ``v_{t-2}`` buffer is
+    recycled for the next gradient evaluation.  Operation order matches
+    the sequential ``g_now - g_prev + v_prev`` exactly.
+    """
+
+    name = "sarah"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._W_prev: Optional[np.ndarray] = None
+        self._V_prev: Optional[np.ndarray] = None
+        self._g_now: Optional[np.ndarray] = None
+        self._g_prev: Optional[np.ndarray] = None
+
+    def start_epoch(self, W0, full_grads):
+        self._W_prev = np.array(W0, dtype=np.float64, copy=True)
+        self._V_prev = np.array(full_grads, dtype=np.float64, copy=True)
+        self._g_now = np.empty_like(self._V_prev)
+        self._g_prev = np.empty_like(self._V_prev)
+        return self._V_prev.copy()
+
+    def estimate(self, kernel, X_batch, y_batch, W_t):
+        if self._W_prev is None or self._V_prev is None:
+            raise ConfigurationError("estimate() called before start_epoch()")
+        self.num_evaluations += 2
+        g_now = kernel.gradient_stack(W_t, X_batch, y_batch, out=self._g_now)
+        g_prev = kernel.gradient_stack(
+            self._W_prev, X_batch, y_batch, out=self._g_prev
+        )
+        np.subtract(g_now, g_prev, out=g_now)
+        np.add(g_now, self._V_prev, out=g_now)  # g_now holds v_t
+        np.copyto(self._W_prev, W_t)
+        # Rotate: v_t becomes the retained v_prev; the old v_prev
+        # buffer is dead and becomes the next step's g_now scratch.
+        self._V_prev, self._g_now = g_now, self._V_prev
+        return g_now
+
+
 _ESTIMATORS = {
     "sgd": SGDEstimator,
     "svrg": SVRGEstimator,
     "sarah": SARAHEstimator,
+}
+
+#: sequential estimator class -> its stacked-cohort counterpart
+BATCHED_ESTIMATORS = {
+    SGDEstimator: BatchedSGDEstimator,
+    SVRGEstimator: BatchedSVRGEstimator,
+    SARAHEstimator: BatchedSARAHEstimator,
 }
 
 
@@ -141,4 +290,14 @@ def make_estimator(name: str) -> GradientEstimator:
     except KeyError:
         raise ConfigurationError(
             f"unknown estimator {name!r}; choices: {sorted(_ESTIMATORS)}"
+        ) from None
+
+
+def make_batched_estimator(sequential_cls: type) -> BatchedGradientEstimator:
+    """The stacked counterpart of a sequential estimator class."""
+    try:
+        return BATCHED_ESTIMATORS[sequential_cls]()
+    except KeyError:
+        raise ConfigurationError(
+            f"no batched counterpart for estimator {sequential_cls.__name__}"
         ) from None

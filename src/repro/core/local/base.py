@@ -4,13 +4,19 @@ A local solver implements Alg. 1 lines 3-10 (or a baseline's analogue):
 given the broadcast global model it produces the device's local model
 for this round, plus bookkeeping the server and the delay model consume
 (gradient-evaluation counts map to computation delay ``d_cmp``).
+
+Solvers may additionally implement :meth:`LocalSolver.solve_cohort`, the
+batched execution path: a whole homogeneous cohort's inner loops run as
+stacked ``(K, D)`` ndarray operations instead of K Python loops, with
+per-(client, round) RNG streams consumed in exactly the order the
+sequential path consumes them, so results are bit-identical either way.
 """
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -21,6 +27,7 @@ from repro.utils.validation import check_positive, check_positive_int
 #: ratio buckets for the achieved-theta distribution (criterion (11)):
 #: fine below 1 (criterion met by some margin), coarse above.
 THETA_BUCKETS = (0.01, 0.05, 0.1, 0.25, 0.5, 0.75, 1.0, 2.0, 10.0)
+
 
 
 @dataclass
@@ -87,6 +94,78 @@ class LocalSolver(ABC):
         if size == n:
             return np.arange(n)
         return rng.choice(n, size=size, replace=False)
+
+    # -- batched cohort execution -------------------------------------
+
+    def solve_cohort(
+        self,
+        models: Sequence[Model],
+        shards: Sequence[Tuple[np.ndarray, np.ndarray]],
+        w_global: np.ndarray,
+        rngs: Sequence[np.random.Generator],
+        kernel,
+    ) -> Optional[List["LocalSolveResult"]]:
+        """Run one round's inner loops for a homogeneous cohort at once.
+
+        Parameters mirror K parallel :meth:`solve` calls: ``models``,
+        ``shards`` (``(X, y)`` training pairs) and ``rngs`` are ordered
+        per client; ``kernel`` is a
+        :class:`repro.models.batched.BatchKernel` over the cohort's
+        models (or ``None`` when no vectorized kernel exists).
+
+        Returns results ordered like the inputs, or ``None`` when this
+        solver (or this configuration) has no batched path — callers
+        must then fall back to per-client :meth:`solve` calls.  The
+        contract for implementations is **bit-identity**: result ``k``
+        must equal what ``solve`` would have produced for client ``k``
+        with the same RNG stream.
+        """
+        del models, shards, w_global, rngs, kernel
+        return None
+
+    def _cohort_geometry(
+        self, shards: Sequence[Tuple[np.ndarray, np.ndarray]]
+    ) -> Optional[Tuple[int, int]]:
+        """``(B, num_features)`` when every shard yields the same
+        effective minibatch size, else ``None`` (cohort not stackable)."""
+        sizes = {min(self.batch_size, X.shape[0]) for X, _ in shards}
+        features = {X.shape[1] for X, _ in shards}
+        if len(sizes) != 1 or len(features) != 1:
+            return None
+        return sizes.pop(), features.pop()
+
+    def _gather_minibatches(
+        self,
+        shards: Sequence[Tuple[np.ndarray, np.ndarray]],
+        rngs: Sequence[np.random.Generator],
+        X_out: np.ndarray,
+        y_out: np.ndarray,
+    ) -> None:
+        """Sample one minibatch per client into the stacked buffers.
+
+        Consumes each client's generator exactly like one sequential
+        ``_sample_batch`` call, so interleaving clients step-by-step
+        (instead of client-by-client) leaves every stream unchanged.
+        Gathers stay per shard on purpose: each shard is small enough to
+        be cache-resident, which beats one scattered gather from a
+        concatenated copy of the whole cohort (measured on the fig2
+        macro-bench).
+
+        The cohort geometry guarantees every shard has the same
+        effective minibatch size (= ``X_out.shape[1]``), so the
+        sequential path's per-call ``min(batch_size, n)`` is hoisted:
+        either every shard is sampled (``rng.choice``, same draw as
+        ``_sample_batch``) or every shard is taken whole (no RNG
+        consumed, matching ``_sample_batch``'s full-shard branch).
+        """
+        size = X_out.shape[1]
+        for k, (X, y) in enumerate(shards):
+            if size == X.shape[0]:
+                idx = np.arange(size)
+            else:
+                idx = rngs[k].choice(X.shape[0], size=size, replace=False)
+            X.take(idx, axis=0, out=X_out[k])
+            y_out[k] = y[idx]
 
     def _record_solve_metrics(self, result: LocalSolveResult) -> LocalSolveResult:
         """Publish one solve's inner-loop telemetry; returns ``result``.

@@ -65,3 +65,54 @@ class FedProxLocalSolver(LocalSolver):
                 final_surrogate_grad_norm=float(np.linalg.norm(final_grad)),
             )
         )
+
+    def solve_cohort(self, models, shards, w_global, rngs, kernel):
+        """Stacked-cohort proximal SGD.
+
+        The quadratic prox (10) is elementwise, so the whole cohort's
+        prox step is one broadcast over the ``(K, D)`` stack against the
+        shared ``(D,)`` anchor.
+        """
+        if kernel is None:
+            return None
+        geometry = self._cohort_geometry(shards)
+        if geometry is None:
+            return None
+        batch, features = geometry
+        K = len(shards)
+        w_global = np.asarray(w_global, dtype=np.float64)
+        prox = QuadraticProx(self.mu, w_global)
+
+        start_norms = np.empty(K)
+        for k, ((X, y), model) in enumerate(zip(shards, models)):
+            start_norms[k] = float(np.linalg.norm(model.gradient(w_global, X, y)))
+
+        W = np.repeat(w_global[None, :], K, axis=0)
+        X_batch = np.empty((K, batch, features), dtype=np.float64)
+        y_batch = np.empty((K, batch), dtype=np.intp)
+        G = np.empty_like(W)
+        T = np.empty_like(W)
+        for _ in range(self.num_steps):
+            self._gather_minibatches(shards, rngs, X_batch, y_batch)
+            kernel.gradient_stack(W, X_batch, y_batch, out=G)
+            # Same ops as ``prox(W - step * G)``: scale, subtract, prox.
+            np.multiply(G, self.step_size, out=T)
+            np.subtract(W, T, out=W)
+            prox.apply_(W, self.step_size)
+
+        results = []
+        for k, ((X, y), model) in enumerate(zip(shards, models)):
+            w_local = np.array(W[k], dtype=np.float64, copy=True)
+            final_grad = model.gradient(w_local, X, y) + prox.gradient(w_local)
+            results.append(
+                self._record_solve_metrics(
+                    LocalSolveResult(
+                        w_local=w_local,
+                        num_steps=self.num_steps,
+                        num_gradient_evaluations=self.num_steps + 2,
+                        start_grad_norm=start_norms[k],
+                        final_surrogate_grad_norm=float(np.linalg.norm(final_grad)),
+                    )
+                )
+            )
+        return results

@@ -22,7 +22,11 @@ from typing import List, Optional, Union
 
 import numpy as np
 
-from repro.core.estimators import GradientEstimator, make_estimator
+from repro.core.estimators import (
+    GradientEstimator,
+    make_batched_estimator,
+    make_estimator,
+)
 from repro.core.local.base import LocalSolveResult, LocalSolver
 from repro.core.proximal import QuadraticProx
 from repro.exceptions import ConfigurationError
@@ -178,3 +182,105 @@ class FedProxVRLocalSolver(LocalSolver):
                 },
             )
         )
+
+    def solve_cohort(self, models, shards, w_global, rngs, kernel):
+        """Stacked-cohort Alg. 1: SVRG/SARAH recursions over a (K, D) stack.
+
+        Anchor full gradients (lines 3-4) stay per-client calls on the
+        heterogeneous shards; the ``tau`` stochastic steps (lines 5-9)
+        run as stacked kernel/estimator/prox operations; iterate
+        selection (line 10) draws from each client's own stream in
+        client order, exactly as K sequential solves would.
+
+        ``theta``-stopping (criterion (11)) makes control flow
+        data-dependent per client, so that configuration reports "no
+        batched path" and falls back to sequential solves.
+        """
+        if kernel is None or self.theta is not None:
+            return None
+        geometry = self._cohort_geometry(shards)
+        if geometry is None:
+            return None
+        batch, features = geometry
+        K = len(shards)
+        eta = self.step_size
+        w_global = np.asarray(w_global, dtype=np.float64)
+        prox = QuadraticProx(self.mu, w_global)
+        estimator = make_batched_estimator(self._estimator_cls)
+
+        # Lines 3-4: anchor stack and per-client full local gradients.
+        W0 = np.repeat(w_global[None, :], K, axis=0)
+        full_grads = np.empty((K, w_global.size), dtype=np.float64)
+        start_norms = np.empty(K)
+        for k, ((X, y), model) in enumerate(zip(shards, models)):
+            full_grads[k] = model.gradient(W0[k], X, y)
+            start_norms[k] = float(np.linalg.norm(full_grads[k]))
+        V = estimator.start_epoch(W0, full_grads)
+
+        # Iterates are only materialized when line 10 needs them.
+        keep_iterates = self.iterate_selection != "last"
+        iterates: List[np.ndarray] = [W0] if keep_iterates else []
+        # Double-buffered update: same ops as ``prox(W - eta * V)`` —
+        # scale, subtract, prox — with the result landing in the spare
+        # buffer, which then becomes the current iterate.
+        W = np.empty_like(W0)
+        T = np.empty_like(W0)
+        np.multiply(V, eta, out=W)
+        np.subtract(W0, W, out=W)
+        prox.apply_(W, eta)
+        if keep_iterates:
+            iterates.append(W.copy())
+
+        X_batch = np.empty((K, batch, features), dtype=np.float64)
+        y_batch = np.empty((K, batch), dtype=np.intp)
+        # Lines 5-9: tau stochastic proximal VR steps, stacked.
+        for _ in range(1, self.num_steps + 1):
+            self._gather_minibatches(shards, rngs, X_batch, y_batch)
+            V = estimator.estimate(kernel, X_batch, y_batch, W)
+            np.multiply(V, eta, out=T)
+            np.subtract(W, T, out=T)
+            prox.apply_(T, eta)
+            W, T = T, W
+            if keep_iterates:
+                iterates.append(W.copy())
+        steps_taken = self.num_steps
+        evals = 1 + estimator.num_evaluations
+
+        # Line 10: iterate selection over {w^0 .. w^tau}, per client.
+        if self.iterate_selection == "random":
+            candidates = iterates[:-1] if len(iterates) > 1 else iterates
+            w_outs = [
+                candidates[int(rngs[k].integers(0, len(candidates)))][k]
+                for k in range(K)
+            ]
+        elif self.iterate_selection == "last":
+            w_outs = [W[k] for k in range(K)]
+        else:  # average
+            W_mean = np.mean(np.stack(iterates[1:]), axis=0)
+            w_outs = [W_mean[k] for k in range(K)]
+
+        results = []
+        for k, ((X, y), model) in enumerate(zip(shards, models)):
+            final_norm: Optional[float] = None
+            per_client_evals = evals
+            if self.evaluate_final:
+                final_norm = self._surrogate_grad_norm(
+                    model, X, y, w_outs[k], prox
+                )
+                per_client_evals += 1
+            results.append(
+                self._record_solve_metrics(
+                    LocalSolveResult(
+                        w_local=np.array(w_outs[k], dtype=np.float64, copy=True),
+                        num_steps=steps_taken,
+                        num_gradient_evaluations=per_client_evals,
+                        start_grad_norm=start_norms[k],
+                        final_surrogate_grad_norm=final_norm,
+                        diagnostics={
+                            "stopped_early": 0.0,
+                            "estimator_evals": float(estimator.num_evaluations),
+                        },
+                    )
+                )
+            )
+        return results

@@ -45,3 +45,51 @@ class FedAvgLocalSolver(LocalSolver):
                 diagnostics={"start_loss": start_loss},
             )
         )
+
+    def solve_cohort(self, models, shards, w_global, rngs, kernel):
+        """Stacked-cohort FedAvg: ``W <- W - eta G`` on a ``(K, D)`` stack.
+
+        The anchor diagnostics (full-shard loss/gradient) stay
+        per-client calls — shard sizes are heterogeneous — while the
+        ``tau``-step minibatch loop runs as stacked kernel evaluations.
+        """
+        if kernel is None:
+            return None
+        geometry = self._cohort_geometry(shards)
+        if geometry is None:
+            return None
+        batch, features = geometry
+        K = len(shards)
+        w_global = np.asarray(w_global, dtype=np.float64)
+
+        start_losses = np.empty(K)
+        start_norms = np.empty(K)
+        for k, ((X, y), model) in enumerate(zip(shards, models)):
+            loss, grad = model.loss_and_gradient(w_global, X, y)
+            start_losses[k] = loss
+            start_norms[k] = float(np.linalg.norm(grad))
+
+        W = np.repeat(w_global[None, :], K, axis=0)
+        X_batch = np.empty((K, batch, features), dtype=np.float64)
+        y_batch = np.empty((K, batch), dtype=np.intp)
+        G = np.empty_like(W)
+        T = np.empty_like(W)
+        for _ in range(self.num_steps):
+            self._gather_minibatches(shards, rngs, X_batch, y_batch)
+            kernel.gradient_stack(W, X_batch, y_batch, out=G)
+            # Same ops as ``W - step * G``: scale, then subtract.
+            np.multiply(G, self.step_size, out=T)
+            np.subtract(W, T, out=W)
+
+        return [
+            self._record_solve_metrics(
+                LocalSolveResult(
+                    w_local=np.array(W[k], dtype=np.float64, copy=True),
+                    num_steps=self.num_steps,
+                    num_gradient_evaluations=1 + self.num_steps,
+                    start_grad_norm=start_norms[k],
+                    diagnostics={"start_loss": float(start_losses[k])},
+                )
+            )
+            for k in range(K)
+        ]

@@ -50,11 +50,23 @@ class QuadraticProx(ProximalOperator):
     ``anchor = w_bar^{(s-1)}``; ``mu = 0`` degrades gracefully to the
     identity, which is how the Fig. 4 ``mu = 0`` divergence run is
     expressed.
+
+    Stacked cohorts: because the closed form (10) is elementwise,
+    :meth:`__call__` and :meth:`gradient` accept a ``(K, D)`` parameter
+    stack as well as a single ``(D,)`` vector — the ``(D,)`` anchor
+    broadcasts across rows, and each row of the result is bit-identical
+    to the corresponding single-vector call.  The batched local solvers
+    rely on this.
     """
 
     def __init__(self, mu: float, anchor: np.ndarray) -> None:
         self.mu = check_positive("mu", mu, strict=False)
         self.anchor = np.asarray(anchor, dtype=np.float64)
+        # ``scale * anchor`` cache for apply_ — the inner loop applies
+        # the prox with the same eta every step, so the product is
+        # computed once and reused (same multiply, same bits).
+        self._cached_eta: float = float("nan")
+        self._cached_scaled_anchor: np.ndarray = self.anchor
 
     def __call__(self, x: np.ndarray, eta: float) -> np.ndarray:
         check_positive("eta", eta)
@@ -63,6 +75,25 @@ class QuadraticProx(ProximalOperator):
             return x
         scale = eta * self.mu
         return (x + scale * self.anchor) / (1.0 + scale)
+
+    def apply_(self, x: np.ndarray, eta: float) -> np.ndarray:
+        """In-place prox: overwrite ``x`` with ``prox(x, eta)``.
+
+        Same elementary operations in the same order as
+        :meth:`__call__` (add the scaled anchor, then divide), so each
+        element carries identical bits — only the allocations differ.
+        ``x`` must be a float64 ndarray.
+        """
+        check_positive("eta", eta)
+        if self.mu == 0.0:
+            return x
+        scale = eta * self.mu
+        if eta != self._cached_eta:
+            self._cached_eta = eta
+            self._cached_scaled_anchor = scale * self.anchor
+        np.add(x, self._cached_scaled_anchor, out=x)
+        np.divide(x, 1.0 + scale, out=x)
+        return x
 
     def value(self, w: np.ndarray) -> float:
         if self.mu == 0.0:

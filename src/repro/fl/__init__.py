@@ -19,7 +19,11 @@ from repro.fl.aggregation import (
 )
 from repro.fl.client import Client
 from repro.fl.delays import DelayModel, make_uniform_delays, make_heterogeneous_delays
-from repro.fl.executor import SequentialExecutor, ThreadPoolClientExecutor
+from repro.fl.executor import (
+    BatchedCohortExecutor,
+    SequentialExecutor,
+    ThreadPoolClientExecutor,
+)
 from repro.fl.history import RoundRecord, TrainingHistory
 from repro.fl.metrics import global_loss, global_accuracy, global_gradient_norm
 from repro.fl.server import FederatedServer
@@ -34,6 +38,7 @@ from repro.fl.tuning import (
 )
 
 __all__ = [
+    "BatchedCohortExecutor",
     "Client",
     "DelayModel",
     "FederatedRunConfig",

@@ -6,18 +6,25 @@ concurrently, because each (client, round) pair derives its own RNG
 stream.  The thread-pool executor gives real speedups on models whose
 gradient work releases the GIL inside BLAS (dense/conv GEMMs); it
 requires per-client model instances (see :class:`repro.fl.client.Client`).
+The batched executor goes further for homogeneous convex cohorts: it
+stacks same-architecture clients into ``(K, D)`` parameter blocks and
+runs their inner loops as single vectorized solves
+(:meth:`repro.core.local.base.LocalSolver.solve_cohort`), falling back
+to per-client solves wherever no bit-identical kernel exists.
 """
 
 from __future__ import annotations
 
+import os
 from abc import ABC, abstractmethod
 from concurrent.futures import ThreadPoolExecutor
-from typing import List, Optional, Sequence
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.local.base import LocalSolveResult
 from repro.fl.client import Client
+from repro.models.batched import cohort_signature, make_batch_kernel
 from repro.obs import telemetry
 from repro.utils.validation import check_positive_int
 
@@ -44,7 +51,21 @@ class ClientExecutor(ABC):
         w_global: np.ndarray,
         round_index: int,
     ) -> List[LocalSolveResult]:
-        """Return local results ordered like ``clients``."""
+        """Return local results ordered like ``clients``.
+
+        ``clients`` may be any subset of the registered population
+        (partial participation selects per round).
+        """
+
+    def register_clients(self, clients: Sequence[Client]) -> None:
+        """Announce the full client population before training starts.
+
+        The server calls this once with *all* clients; each
+        ``run_round`` then receives the round's (possibly partial)
+        selection.  Executors that pre-place per-client state — the
+        process pool maps data shards into shared memory at start-up —
+        need the full population here.  Default: nothing to do.
+        """
 
     def close(self) -> None:
         """Release any pooled resources (default: nothing to do)."""
@@ -88,23 +109,47 @@ class ThreadPoolClientExecutor(ClientExecutor):
     """Run clients concurrently on a persistent thread pool.
 
     The pool is reused across rounds; call :meth:`close` (or use the
-    instance as a context manager) when training finishes.
+    instance as a context manager) when training finishes.  When
+    ``max_workers`` is not given the pool is sized on first use to
+    ``min(len(clients), os.cpu_count())`` — one thread per client up to
+    the machine's cores, the widest useful fan-out for BLAS-bound
+    solves.
     """
 
-    def __init__(self, max_workers: int = 4) -> None:
-        check_positive_int("max_workers", max_workers)
-        self._pool = ThreadPoolExecutor(max_workers=max_workers)
+    def __init__(self, max_workers: Optional[int] = None) -> None:
+        if max_workers is not None:
+            check_positive_int("max_workers", max_workers)
+        self._max_workers = max_workers
+        self._pool: Optional[ThreadPoolExecutor] = None
         self._closed = False
+        # Client sets are stable across rounds, so the distinct-model
+        # invariant is checked once per set, not once per round.
+        self._validated_clients: Optional[Tuple[int, ...]] = None
 
-    def run_round(self, clients, w_global, round_index):
-        if self._closed:
-            raise RuntimeError("executor already closed")
-        models = [c.model for c in clients]
-        if len(set(map(id, models))) != len(models):
+    def _ensure_pool(self, num_clients: int) -> ThreadPoolExecutor:
+        if self._pool is None:
+            workers = self._max_workers
+            if workers is None:
+                workers = max(1, min(num_clients, os.cpu_count() or 1))
+            self._pool = ThreadPoolExecutor(max_workers=workers)
+        return self._pool
+
+    def _validate_clients(self, clients: Sequence[Client]) -> None:
+        key = tuple(id(c) for c in clients)
+        if key == self._validated_clients:
+            return
+        if len(set(id(c.model) for c in clients)) != len(clients):
             raise RuntimeError(
                 "parallel execution requires one model instance per client "
                 "(shared models carry per-call forward/backward caches)"
             )
+        self._validated_clients = key
+
+    def run_round(self, clients, w_global, round_index):
+        if self._closed:
+            raise RuntimeError("executor already closed")
+        self._validate_clients(clients)
+        self._ensure_pool(len(clients))
         if not telemetry.enabled:
             self.last_client_seconds = None
             futures = [
@@ -125,7 +170,8 @@ class ThreadPoolClientExecutor(ClientExecutor):
 
     def close(self) -> None:
         if not self._closed:
-            self._pool.shutdown(wait=True)
+            if self._pool is not None:
+                self._pool.shutdown(wait=True)
             self._closed = True
 
     def __enter__(self) -> "ThreadPoolClientExecutor":
@@ -133,3 +179,113 @@ class ThreadPoolClientExecutor(ClientExecutor):
 
     def __exit__(self, exc_type, exc, tb) -> None:
         self.close()
+
+
+class BatchedCohortExecutor(ClientExecutor):
+    """Run homogeneous cohorts as single stacked ``(K, D)`` solves.
+
+    Clients are grouped by ``(solver instance, model architecture
+    signature, effective minibatch size)``; each group with a vectorized
+    kernel (:func:`repro.models.batched.make_batch_kernel`) — including
+    singletons, which run the same stacked ops at ``K = 1`` — goes
+    through :meth:`~repro.core.local.base.LocalSolver.solve_cohort` in
+    one call.  Everything else — models without a kernel, solver
+    configurations with data-dependent control flow — falls back to the
+    sequential per-client path.  Either way the results are
+    bit-identical to :class:`SequentialExecutor` on the same seeds; the
+    grouping only changes how the arithmetic is scheduled.
+
+    The grouping plan is computed once per distinct client set and
+    reused across rounds.  Models may be shared across clients (like the
+    sequential executor): the batched path touches per-client models
+    only in serial anchor/final-gradient loops.
+    """
+
+    def __init__(self) -> None:
+        self._plan_clients: Optional[Tuple[int, ...]] = None
+        self._plan: List[Tuple[List[int], Optional[object]]] = []
+
+    def _build_plan(
+        self, clients: Sequence[Client]
+    ) -> List[Tuple[List[int], Optional[object]]]:
+        groups: Dict[Hashable, List[int]] = {}
+        for i, c in enumerate(clients):
+            sig = cohort_signature(c.model)
+            if sig is None:
+                # No kernel for this architecture -> unconditional singleton.
+                groups.setdefault(("solo", i), []).append(i)
+                continue
+            # A cohort stacks minibatches into one (K, B, features)
+            # block, so clients whose shards clamp the minibatch
+            # (n_train < batch_size) form size-specific sub-cohorts.
+            batch = getattr(c.solver, "batch_size", None)
+            effective = (
+                min(int(batch), c.data.X_train.shape[0])
+                if batch is not None
+                else None
+            )
+            key = (id(c.solver), sig, effective)
+            groups.setdefault(key, []).append(i)
+        plan: List[Tuple[List[int], Optional[object]]] = []
+        for indices in groups.values():
+            # Singleton groups get a K=1 kernel too: the stacked ops run
+            # the same elementary sequence at K=1, and a kernel solve is
+            # cheaper than the allocating per-client path it replaces.
+            kernel = make_batch_kernel([clients[i].model for i in indices])
+            plan.append((indices, kernel))
+        return plan
+
+    def run_round(self, clients, w_global, round_index):
+        key = tuple(id(c) for c in clients)
+        if key != self._plan_clients:
+            self._plan = self._build_plan(clients)
+            self._plan_clients = key
+
+        traced = telemetry.enabled
+        parent = telemetry.current_span() if traced else None
+        results: List[Optional[LocalSolveResult]] = [None] * len(clients)
+        batched_count = 0
+        for indices, kernel in self._plan:
+            cohort_results = None
+            if kernel is not None:
+                cohort = [clients[i] for i in indices]
+                solver = cohort[0].solver
+                models = [c.model for c in cohort]
+                shards = [(c.data.X_train, c.data.y_train) for c in cohort]
+                rngs = [c.round_rng(round_index) for c in cohort]
+                if traced:
+                    with telemetry.span(
+                        "cohort_solve",
+                        parent=parent,
+                        cohort_size=len(cohort),
+                        round=round_index,
+                    ):
+                        cohort_results = solver.solve_cohort(
+                            models, shards, w_global, rngs, kernel
+                        )
+                else:
+                    cohort_results = solver.solve_cohort(
+                        models, shards, w_global, rngs, kernel
+                    )
+            if cohort_results is not None:
+                batched_count += len(indices)
+                for i, result in zip(indices, cohort_results):
+                    results[i] = result
+            else:
+                for i in indices:
+                    if traced:
+                        results[i], _ = _traced_update(
+                            clients[i], w_global, round_index, parent
+                        )
+                    else:
+                        results[i] = clients[i].local_update(
+                            w_global, round_index
+                        )
+        if traced:
+            telemetry.counter_add("fl.executor.batched_clients", batched_count)
+            telemetry.counter_add(
+                "fl.executor.fallback_clients", len(clients) - batched_count
+            )
+        # Stacked solves have no meaningful per-client wall time.
+        self.last_client_seconds = None
+        return results

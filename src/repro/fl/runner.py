@@ -18,7 +18,12 @@ from repro.datasets.base import FederatedDataset
 from repro.exceptions import ConfigurationError
 from repro.fl.client import Client
 from repro.fl.delays import DelayModel, make_uniform_delays
-from repro.fl.executor import ClientExecutor, SequentialExecutor, ThreadPoolClientExecutor
+from repro.fl.executor import (
+    BatchedCohortExecutor,
+    ClientExecutor,
+    SequentialExecutor,
+    ThreadPoolClientExecutor,
+)
 from repro.fl.server import FederatedServer
 from repro.fl.history import TrainingHistory
 from repro.models.base import Model
@@ -26,6 +31,30 @@ from repro.obs import telemetry
 from repro.utils.rng import SeedLike, spawn_seeds
 from repro.utils.smoothness import estimate_smoothness_power_iteration
 from repro.utils.validation import check_positive, check_positive_int
+
+#: valid ``FederatedRunConfig.executor`` values.  ``sequential`` and
+#: ``batched`` share model instances across clients; ``thread`` and
+#: ``process`` need one instance per client (see docs/PERFORMANCE.md).
+EXECUTOR_CHOICES = ("sequential", "thread", "batched", "process")
+
+
+def make_executor(name: str, max_workers: Optional[int] = None) -> ClientExecutor:
+    """Build a :class:`ClientExecutor` from its config name."""
+    if name == "sequential":
+        return SequentialExecutor()
+    if name == "batched":
+        return BatchedCohortExecutor()
+    if name == "thread":
+        return ThreadPoolClientExecutor(max_workers=max_workers)
+    if name == "process":
+        # Imported lazily: the module pulls in multiprocessing machinery
+        # that sequential runs never need.
+        from repro.fl.executor_mp import ProcessPoolClientExecutor
+
+        return ProcessPoolClientExecutor(max_workers=max_workers)
+    raise ConfigurationError(
+        f"executor must be one of {EXECUTOR_CHOICES}, got {name!r}"
+    )
 
 
 @dataclass
@@ -51,7 +80,7 @@ class FederatedRunConfig:
     client_fraction: float = 1.0
     eval_every: int = 1
     executor: str = "sequential"
-    max_workers: int = 4
+    max_workers: Optional[int] = None
     seed: int = 0
     solver_kwargs: Dict[str, object] = field(default_factory=dict)
     delay_model: Optional[DelayModel] = None
@@ -62,9 +91,10 @@ class FederatedRunConfig:
         check_positive("beta", self.beta)
         check_positive("mu", self.mu, strict=False)
         check_positive_int("batch_size", self.batch_size)
-        if self.executor not in ("sequential", "thread"):
+        if self.executor not in EXECUTOR_CHOICES:
             raise ConfigurationError(
-                f"executor must be 'sequential' or 'thread', got {self.executor!r}"
+                f"executor must be one of {EXECUTOR_CHOICES}, "
+                f"got {self.executor!r}"
             )
 
 
@@ -132,8 +162,8 @@ def run_federated(
         The federated data (one shard per device).
     model_factory:
         Zero-argument callable building a fresh ``Model``; called once
-        under the sequential executor and once per client when running
-        on the thread pool.
+        under the sequential/batched executors and once per client when
+        running on the thread or process pool.
     config:
         See :class:`FederatedRunConfig`.
     w0:
@@ -164,19 +194,17 @@ def run_federated(
         **config.solver_kwargs,
     )
 
-    use_threads = config.executor == "thread"
+    # Concurrent executors need per-client model instances (transient
+    # layer caches are per-call state); sequential and batched share one.
+    share_model = config.executor in ("sequential", "batched")
     clients = build_clients(
         dataset,
         model_factory,
         solver,
-        share_model=not use_threads,
+        share_model=share_model,
         seed=config.seed,
     )
-    executor: ClientExecutor
-    if use_threads:
-        executor = ThreadPoolClientExecutor(max_workers=config.max_workers)
-    else:
-        executor = SequentialExecutor()
+    executor = make_executor(config.executor, config.max_workers)
 
     delay_model = config.delay_model
     if delay_model is None:

@@ -49,6 +49,7 @@ class FederatedServer:
         self.clients: List[Client] = list(clients)
         self.eval_model = eval_model
         self.executor = executor or SequentialExecutor()
+        self.executor.register_clients(self.clients)
         self.delay_model = delay_model
         self.aggregator = aggregator
         self.client_fraction = check_in_range(

@@ -55,6 +55,8 @@ class MultinomialLogisticModel(Model):
     def loss(self, w: np.ndarray, X: np.ndarray, y: np.ndarray) -> float:
         w, X, y = self._check_batch(w, X, y)
         base = self._loss_head.value(self._scores(w, X), y)
+        if not self.l2:
+            return float(base)
         W = self.spec.piece(w, 0)
         return float(base + 0.5 * self.l2 * np.sum(W * W))
 
@@ -64,11 +66,19 @@ class MultinomialLogisticModel(Model):
         w, X, y = self._check_batch(w, X, y)
         scores = self._scores(w, X)
         base, grad_scores = self._loss_head.value_and_grad(scores, y)
-        W = self.spec.piece(w, 0)
-        loss = float(base + 0.5 * self.l2 * np.sum(W * W))
         grad = self.spec.zeros()
         grad_pieces = self.spec.unflatten(grad)
-        grad_pieces[0][...] = X.T @ grad_scores + self.l2 * W
+        grad_pieces[0][...] = X.T @ grad_scores
+        # The decay term is skipped entirely at l2 = 0 (adding 0.0 * W is
+        # two full passes over the weights for a no-op); the batched
+        # kernel skips under the same condition, preserving executor
+        # bit-identity either way.
+        if self.l2:
+            W = self.spec.piece(w, 0)
+            loss = float(base + 0.5 * self.l2 * np.sum(W * W))
+            grad_pieces[0] += self.l2 * W
+        else:
+            loss = float(base)
         if self.fit_intercept:
             grad_pieces[1][...] = grad_scores.sum(axis=0)
         return loss, grad

@@ -9,11 +9,18 @@ scatter-accumulation.
 
 Layout conventions: images are ``(N, C, H, W)``; columns are
 ``(C*KH*KW, N*OH*OW)``.
+
+The column matrix is the dominant transient allocation of a CNN step
+(``C*KH*KW x N*OH*OW`` doubles, re-made every forward).  ``im2col``
+therefore accepts an ``out=`` buffer, and :class:`Im2colScratch` keeps
+one correctly-shaped buffer alive across same-geometry calls — the
+shapes are fixed for a whole training run, so after the first call the
+lowering is a single strided copy with no allocator traffic.
 """
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 from numpy.lib.stride_tricks import as_strided
@@ -69,7 +76,11 @@ def sliding_windows(
 
 
 def im2col(
-    x: np.ndarray, kernel: Tuple[int, int], stride: int = 1, padding: int = 0
+    x: np.ndarray,
+    kernel: Tuple[int, int],
+    stride: int = 1,
+    padding: int = 0,
+    out: Optional[np.ndarray] = None,
 ) -> np.ndarray:
     """Unroll image patches into columns.
 
@@ -77,11 +88,15 @@ def im2col(
     ----------
     x:
         Input images ``(N, C, H, W)``.
+    out:
+        Optional preallocated ``(C*KH*KW, N*OH*OW)`` float64 C-order
+        buffer (e.g. from :class:`Im2colScratch`); fully overwritten.
 
     Returns
     -------
     Columns of shape ``(C*KH*KW, N*OH*OW)`` where each column is one
-    receptive field, ordered with the batch index slowest.
+    receptive field, ordered with the batch index slowest.  The same
+    object as ``out`` when one is given.
     """
     x = np.asarray(x, dtype=np.float64)
     oh, ow = _check_geometry(x.shape, kernel, stride, padding)
@@ -92,9 +107,46 @@ def im2col(
     windows = sliding_windows(x, kernel, stride)
     N, C = x.shape[0], x.shape[1]
     kh, kw = kernel
+    cols_shape = (C * kh * kw, N * oh * ow)
     # (N, C, OH, OW, KH, KW) -> (C, KH, KW, N, OH, OW) -> 2-D
-    cols = windows.transpose(1, 4, 5, 0, 2, 3).reshape(C * kh * kw, N * oh * ow)
-    return np.ascontiguousarray(cols)
+    patches = windows.transpose(1, 4, 5, 0, 2, 3)
+    if out is None:
+        return np.ascontiguousarray(patches).reshape(cols_shape)
+    if (
+        out.shape != cols_shape
+        or out.dtype != np.float64
+        or not out.flags.c_contiguous
+    ):
+        raise DimensionMismatchError(
+            f"out buffer {out.shape}/{out.dtype} does not match a C-order "
+            f"float64 {cols_shape} column matrix"
+        )
+    # One strided copy straight into the caller's buffer — no transient.
+    np.copyto(out.reshape(C, kh, kw, N, oh, ow), patches)
+    return out
+
+
+class Im2colScratch:
+    """One reusable column buffer keyed by shape.
+
+    Same-geometry :func:`im2col` calls (the steady state of a training
+    run) reuse the buffer; a shape change reallocates;``invalidate``
+    drops it explicitly.  Not thread-safe — intended as per-layer state,
+    and layers are already per-call serialized.
+    """
+
+    def __init__(self) -> None:
+        self._buffer: Optional[np.ndarray] = None
+
+    def request(self, shape: Tuple[int, int]) -> np.ndarray:
+        """A float64 C-order buffer of ``shape`` (contents undefined)."""
+        if self._buffer is None or self._buffer.shape != tuple(shape):
+            self._buffer = np.empty(shape, dtype=np.float64)
+        return self._buffer
+
+    def invalidate(self) -> None:
+        """Drop the buffer; the next :meth:`request` reallocates."""
+        self._buffer = None
 
 
 def col2im(

@@ -9,7 +9,7 @@ import numpy as np
 
 from repro.exceptions import DimensionMismatchError
 from repro.nn import initializers
-from repro.nn.im2col import col2im, conv_output_size, im2col
+from repro.nn.im2col import Im2colScratch, col2im, conv_output_size, im2col
 from repro.nn.module import Module
 from repro.obs import telemetry
 from repro.utils.rng import SeedLike, as_generator
@@ -66,6 +66,14 @@ class Conv2D(Module):
 
         self._cache_cols: Optional[np.ndarray] = None
         self._cache_x_shape: Optional[Tuple[int, int, int, int]] = None
+        # Column scratch: eval forwards reuse one buffer freely; train
+        # forwards double-buffer because the columns escape into
+        # ``_cache_cols`` and must survive until the matching backward —
+        # a single buffer would let forward t+1 corrupt backward t's
+        # cached columns.
+        self._eval_scratch = Im2colScratch()
+        self._train_scratch = (Im2colScratch(), Im2colScratch())
+        self._train_flip = 0
 
     def output_shape(self, input_shape: Tuple[int, int, int]) -> Tuple[int, int, int]:
         """Per-sample output shape ``(C_out, OH, OW)`` for a CHW input."""
@@ -83,16 +91,23 @@ class Conv2D(Module):
             )
         N = x.shape[0]
         _, oh, ow = self.output_shape(x.shape[1:])
+        kh_, kw_ = self.kernel_size
+        if train:
+            scratch = self._train_scratch[self._train_flip]
+            self._train_flip ^= 1
+        else:
+            scratch = self._eval_scratch
+        buf = scratch.request((self.in_channels * kh_ * kw_, N * oh * ow))
         if telemetry.nn_profiling:
             # The lowering, not the GEMM, is the historical hot spot —
             # time it separately so `obs-report` can name it.
             t0 = time.perf_counter()
-            cols = im2col(x, self.kernel_size, self.stride, self.padding)
+            cols = im2col(x, self.kernel_size, self.stride, self.padding, out=buf)
             telemetry.observe(
                 "nn.conv2d.im2col_seconds", time.perf_counter() - t0
             )
         else:
-            cols = im2col(x, self.kernel_size, self.stride, self.padding)
+            cols = im2col(x, self.kernel_size, self.stride, self.padding, out=buf)
         if train:
             self._cache_cols = cols
             self._cache_x_shape = x.shape

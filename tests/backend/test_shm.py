@@ -1,0 +1,88 @@
+"""Tests for repro.backend.shm (shared-memory arena)."""
+
+import numpy as np
+import pytest
+
+from repro.backend.shm import ArraySpec, ShmArena, attach_array
+from repro.exceptions import ConfigurationError
+
+
+class TestArraySpec:
+    def test_nbytes(self):
+        spec = ArraySpec("name", (3, 4), "<f8")
+        assert spec.nbytes == 3 * 4 * 8
+
+    def test_frozen(self):
+        spec = ArraySpec("name", (2,), "<f8")
+        with pytest.raises(AttributeError):
+            spec.shm_name = "other"
+
+
+class TestShmArena:
+    def test_put_and_attach_roundtrip(self):
+        rng = np.random.default_rng(0)
+        original = rng.standard_normal((5, 3))
+        with ShmArena() as arena:
+            spec = arena.put(original)
+            view, handle = attach_array(spec)
+            try:
+                np.testing.assert_array_equal(view, original)
+            finally:
+                handle.close()
+
+    def test_put_copies(self):
+        data = np.arange(6, dtype=np.float64)
+        with ShmArena() as arena:
+            spec = arena.put(data)
+            data[0] = 99.0
+            view, handle = attach_array(spec)
+            try:
+                assert view[0] == 0.0
+            finally:
+                handle.close()
+
+    def test_create_writable_broadcast_block(self):
+        with ShmArena() as arena:
+            spec, writer = arena.create((4,))
+            np.testing.assert_array_equal(writer, np.zeros(4))
+            reader, handle = attach_array(spec)
+            try:
+                writer[...] = [1.0, 2.0, 3.0, 4.0]
+                np.testing.assert_array_equal(reader, [1.0, 2.0, 3.0, 4.0])
+            finally:
+                handle.close()
+
+    def test_zero_size_array(self):
+        with ShmArena() as arena:
+            spec = arena.put(np.empty((0, 7)))
+            view, handle = attach_array(spec)
+            try:
+                assert view.shape == (0, 7)
+            finally:
+                handle.close()
+
+    def test_close_unlinks(self):
+        arena = ShmArena()
+        spec = arena.put(np.ones(3))
+        arena.close()
+        with pytest.raises(FileNotFoundError):
+            attach_array(spec)
+
+    def test_close_idempotent(self):
+        arena = ShmArena()
+        arena.put(np.ones(2))
+        arena.close()
+        arena.close()  # must not raise
+
+    def test_closed_arena_rejects_put(self):
+        arena = ShmArena()
+        arena.close()
+        with pytest.raises(ConfigurationError):
+            arena.put(np.ones(2))
+
+    def test_len_counts_segments(self):
+        with ShmArena() as arena:
+            assert len(arena) == 0
+            arena.put(np.ones(2))
+            arena.create((3,))
+            assert len(arena) == 2

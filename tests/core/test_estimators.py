@@ -179,3 +179,86 @@ class TestSGD:
         v = est.start_epoch(w0, full)
         v[...] = 0.0
         assert full.any()  # caller's array untouched
+
+
+class TestBatchedEstimators:
+    """Stacked estimator recursions: each row must follow the same
+    SVRG/SARAH recursion as a per-client sequential estimator."""
+
+    def _stacks(self, seed=0, K=4, D=6):
+        rng = np.random.default_rng(seed)
+        W0 = rng.standard_normal((K, D))
+        full = rng.standard_normal((K, D))
+        return W0, full
+
+    def test_factory_maps_sequential_classes(self):
+        from repro.core.estimators import (
+            BatchedSARAHEstimator,
+            BatchedSGDEstimator,
+            BatchedSVRGEstimator,
+            make_batched_estimator,
+        )
+
+        assert isinstance(make_batched_estimator(SVRGEstimator), BatchedSVRGEstimator)
+        assert isinstance(make_batched_estimator(SARAHEstimator), BatchedSARAHEstimator)
+        assert isinstance(make_batched_estimator(SGDEstimator), BatchedSGDEstimator)
+
+    def test_factory_rejects_unknown(self):
+        from repro.core.estimators import GradientEstimator, make_batched_estimator
+        from repro.exceptions import ConfigurationError
+
+        class Custom(GradientEstimator):
+            name = "custom"
+
+            def start_epoch(self, w0, full_grad):
+                return full_grad
+
+            def estimate(self, model, X, y, w):
+                return w
+
+        with pytest.raises(ConfigurationError):
+            make_batched_estimator(Custom)
+
+    def test_start_epoch_returns_anchor_gradients(self):
+        from repro.core.estimators import make_batched_estimator
+
+        for cls in (SVRGEstimator, SARAHEstimator, SGDEstimator):
+            W0, full = self._stacks()
+            est = make_batched_estimator(cls)
+            np.testing.assert_array_equal(est.start_epoch(W0, full), full)
+
+    def test_rowwise_matches_sequential_recursion(self):
+        """Drive batched and sequential estimators with the same gradient
+        oracle and compare rows bitwise over several steps."""
+        from repro.core.estimators import make_batched_estimator
+        from repro.models import MultinomialLogisticModel
+        from repro.models.batched import make_batch_kernel
+
+        rng = np.random.default_rng(7)
+        K, B, f, c = 3, 5, 4, 3
+        models = [MultinomialLogisticModel(f, c, l2=0.01) for _ in range(K)]
+        kernel = make_batch_kernel(models)
+        D = models[0].num_parameters
+        W0 = rng.standard_normal((K, D))
+        full = np.stack([
+            models[k].gradient(W0[k], rng.standard_normal((8, f)),
+                               rng.integers(0, c, 8).astype(float))
+            for k in range(K)
+        ])
+
+        for cls in (SVRGEstimator, SARAHEstimator, SGDEstimator):
+            batched = make_batched_estimator(cls)
+            seq = [cls() for _ in range(K)]
+            V = batched.start_epoch(W0, full)
+            for k in range(K):
+                seq[k].start_epoch(W0[k].copy(), full[k].copy())
+            W = W0 - 0.1 * V
+            for _ in range(3):
+                X = rng.standard_normal((K, B, f))
+                y = rng.integers(0, c, size=(K, B)).astype(np.float64)
+                V = batched.estimate(kernel, X, y, W)
+                for k in range(K):
+                    v_k = seq[k].estimate(models[k], X[k], y[k], W[k])
+                    np.testing.assert_array_equal(V[k], v_k, err_msg=cls.__name__)
+                assert batched.num_evaluations == seq[0].num_evaluations
+                W = W - 0.1 * V

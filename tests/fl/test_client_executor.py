@@ -95,3 +95,64 @@ class TestExecutors:
         pool = ThreadPoolClientExecutor(max_workers=1)
         pool.close()
         pool.close()  # must not raise
+
+
+class TestThreadPoolSizing:
+    def test_default_max_workers_sized_on_first_use(self, tiny_dataset):
+        import os
+
+        clients = make_clients(tiny_dataset, share_model=False)
+        with ThreadPoolClientExecutor() as pool:
+            w0 = clients[0].model.init_parameters(0)
+            pool.run_round(clients, w0, 1)
+            expected = max(1, min(len(clients), os.cpu_count() or 1))
+            assert pool._pool._max_workers == expected
+
+    def test_distinct_model_check_cached_per_client_set(self, tiny_dataset):
+        clients = make_clients(tiny_dataset, share_model=False)
+        w0 = clients[0].model.init_parameters(0)
+        with ThreadPoolClientExecutor(max_workers=2) as pool:
+            pool.run_round(clients, w0, 1)
+            key = pool._validated_clients
+            pool.run_round(clients, w0, 2)
+            assert pool._validated_clients is key  # not recomputed
+            # a different set re-validates
+            pool.run_round(clients[:3], w0, 3)
+            assert pool._validated_clients != key
+
+
+class TestProcessPoolExecutor:
+    def test_closed_rejects_work(self, tiny_dataset):
+        from repro.fl.executor_mp import ProcessPoolClientExecutor
+
+        clients = make_clients(tiny_dataset, share_model=False)
+        w0 = clients[0].model.init_parameters(0)
+        pool = ProcessPoolClientExecutor(max_workers=1)
+        pool.close()
+        with pytest.raises(RuntimeError):
+            pool.run_round(clients, w0, 1)
+        pool.close()  # idempotent
+
+    def test_unregistered_client_rejected(self, tiny_dataset):
+        from repro.fl.executor_mp import ProcessPoolClientExecutor
+
+        clients = make_clients(tiny_dataset, share_model=False)
+        w0 = clients[0].model.init_parameters(0)
+        with ProcessPoolClientExecutor(max_workers=2) as pool:
+            pool.run_round(clients[:3], w0, 1)
+            stranger = make_clients(tiny_dataset, share_model=False)[0]
+            with pytest.raises(RuntimeError, match="registered"):
+                pool.run_round([stranger], w0, 2)
+
+    def test_subset_rounds_match_sequential(self, tiny_dataset):
+        from repro.fl.executor_mp import ProcessPoolClientExecutor
+
+        clients = make_clients(tiny_dataset, share_model=False)
+        w0 = clients[0].model.init_parameters(0)
+        with ProcessPoolClientExecutor(max_workers=2) as pool:
+            pool.register_clients(clients)
+            subset = clients[2:5]
+            got = pool.run_round(subset, w0, 3)
+        expected = SequentialExecutor().run_round(clients[2:5], w0, 3)
+        for rp, rs in zip(got, expected):
+            np.testing.assert_array_equal(rp.w_local, rs.w_local)

@@ -147,7 +147,7 @@ class TestRunFederated:
 
     def test_invalid_executor_rejected(self):
         with pytest.raises(ConfigurationError):
-            FederatedRunConfig(executor="process")
+            FederatedRunConfig(executor="gpu-cluster")
 
     def test_solver_kwargs_forwarded(self, tiny_dataset, tiny_model_factory):
         cfg = FederatedRunConfig(

@@ -1,0 +1,105 @@
+"""Tests for repro.models.batched (vectorized cohort kernels)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DimensionMismatchError
+from repro.models import MultinomialLogisticModel
+from repro.models.batched import (
+    LogisticBatchKernel,
+    cohort_signature,
+    make_batch_kernel,
+)
+from repro.models.linear_regression import LinearRegressionModel
+
+
+def _stack_problem(K=5, B=9, f=7, c=3, l2=1e-3, fit_intercept=True, seed=0):
+    rng = np.random.default_rng(seed)
+    models = [
+        MultinomialLogisticModel(f, c, l2=l2, fit_intercept=fit_intercept)
+        for _ in range(K)
+    ]
+    D = models[0].num_parameters
+    W = rng.standard_normal((K, D))
+    X = rng.standard_normal((K, B, f))
+    y = rng.integers(0, c, size=(K, B)).astype(np.float64)
+    return models, W, X, y
+
+
+class TestLogisticBatchKernel:
+    def test_rows_bit_identical_to_sequential_gradient(self):
+        models, W, X, y = _stack_problem()
+        kernel = make_batch_kernel(models)
+        G = kernel.gradient_stack(W, X, y)
+        for k, model in enumerate(models):
+            np.testing.assert_array_equal(G[k], model.gradient(W[k], X[k], y[k]))
+
+    def test_no_intercept_variant(self):
+        models, W, X, y = _stack_problem(fit_intercept=False)
+        kernel = make_batch_kernel(models)
+        G = kernel.gradient_stack(W, X, y)
+        for k, model in enumerate(models):
+            np.testing.assert_array_equal(G[k], model.gradient(W[k], X[k], y[k]))
+
+    def test_out_buffer_is_used_and_returned(self):
+        models, W, X, y = _stack_problem(K=3)
+        kernel = make_batch_kernel(models)
+        out = np.empty_like(W)
+        ret = kernel.gradient_stack(W, X, y, out=out)
+        assert ret is out
+        np.testing.assert_array_equal(out, kernel.gradient_stack(W, X, y))
+
+    def test_shape_mismatch_raises(self):
+        models, W, X, y = _stack_problem()
+        kernel = make_batch_kernel(models)
+        with pytest.raises(DimensionMismatchError):
+            kernel.gradient_stack(W[:, :-1], X, y)
+
+    def test_single_client_stack_matches(self):
+        models, W, X, y = _stack_problem(K=1)
+        kernel = LogisticBatchKernel(models[0])
+        G = kernel.gradient_stack(W, X, y)
+        np.testing.assert_array_equal(G[0], models[0].gradient(W[0], X[0], y[0]))
+
+
+class TestCohortSignature:
+    def test_equal_architectures_share_signature(self):
+        a = MultinomialLogisticModel(5, 3, l2=0.1)
+        b = MultinomialLogisticModel(5, 3, l2=0.1)
+        assert cohort_signature(a) == cohort_signature(b)
+        assert cohort_signature(a) is not None
+
+    def test_architecture_differences_split_cohorts(self):
+        base = MultinomialLogisticModel(5, 3, l2=0.1)
+        for other in (
+            MultinomialLogisticModel(6, 3, l2=0.1),
+            MultinomialLogisticModel(5, 4, l2=0.1),
+            MultinomialLogisticModel(5, 3, l2=0.2),
+            MultinomialLogisticModel(5, 3, l2=0.1, fit_intercept=False),
+        ):
+            assert cohort_signature(base) != cohort_signature(other)
+
+    def test_gemv_shaped_models_have_no_signature(self):
+        """Linear regression gradients are GEMV-shaped; GEMV vs width-1
+        GEMM summation order is not guaranteed identical across BLAS
+        builds, so these models must opt out of batching."""
+        assert cohort_signature(LinearRegressionModel(4)) is None
+
+
+class TestMakeBatchKernel:
+    def test_homogeneous_cohort_gets_kernel(self):
+        models, _, _, _ = _stack_problem()
+        assert isinstance(make_batch_kernel(models), LogisticBatchKernel)
+
+    def test_mixed_architectures_get_none(self):
+        models = [
+            MultinomialLogisticModel(5, 3),
+            MultinomialLogisticModel(5, 4),
+        ]
+        assert make_batch_kernel(models) is None
+
+    def test_unsupported_model_gets_none(self):
+        assert make_batch_kernel([LinearRegressionModel(4)]) is None
+
+    def test_empty_gets_none(self):
+        assert make_batch_kernel([]) is None

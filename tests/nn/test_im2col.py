@@ -4,7 +4,13 @@ import numpy as np
 import pytest
 
 from repro.exceptions import ConfigurationError, DimensionMismatchError
-from repro.nn.im2col import col2im, conv_output_size, im2col, sliding_windows
+from repro.nn.im2col import (
+    Im2colScratch,
+    col2im,
+    conv_output_size,
+    im2col,
+    sliding_windows,
+)
 
 
 class TestConvOutputSize:
@@ -109,3 +115,102 @@ class TestCol2Im:
     def test_shape_mismatch_raises(self):
         with pytest.raises(DimensionMismatchError):
             col2im(np.zeros((4, 5)), (1, 1, 3, 3), (2, 2), stride=1)
+
+
+class TestIm2ColOutBuffer:
+    def _problem(self, seed=0, padding=1):
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal((2, 3, 6, 6))
+        kernel, stride = (3, 3), 1
+        expected = im2col(x, kernel, stride, padding)
+        return x, kernel, stride, padding, expected
+
+    def test_out_matches_allocating_path_bitwise(self):
+        x, kernel, stride, padding, expected = self._problem()
+        out = np.empty(expected.shape)
+        ret = im2col(x, kernel, stride, padding, out=out)
+        assert ret is out
+        np.testing.assert_array_equal(out, expected)
+
+    def test_out_fully_overwritten(self):
+        x, kernel, stride, padding, expected = self._problem()
+        out = np.full(expected.shape, np.nan)
+        im2col(x, kernel, stride, padding, out=out)
+        assert np.all(np.isfinite(out))
+
+    def test_wrong_out_shape_raises(self):
+        x, kernel, stride, padding, expected = self._problem()
+        with pytest.raises(DimensionMismatchError):
+            im2col(x, kernel, stride, padding, out=np.empty((1, 1)))
+
+    def test_wrong_out_dtype_raises(self):
+        x, kernel, stride, padding, expected = self._problem()
+        bad = np.empty(expected.shape, dtype=np.float32)
+        with pytest.raises(DimensionMismatchError):
+            im2col(x, kernel, stride, padding, out=bad)
+
+    def test_noncontiguous_out_raises(self):
+        x, kernel, stride, padding, expected = self._problem()
+        h, w = expected.shape
+        bad = np.empty((h, 2 * w))[:, ::2]
+        with pytest.raises(DimensionMismatchError):
+            im2col(x, kernel, stride, padding, out=bad)
+
+
+class TestIm2colScratch:
+    def test_same_shape_reuses_buffer(self):
+        scratch = Im2colScratch()
+        a = scratch.request((4, 9))
+        b = scratch.request((4, 9))
+        assert a is b
+
+    def test_shape_change_reallocates(self):
+        scratch = Im2colScratch()
+        a = scratch.request((4, 9))
+        b = scratch.request((4, 12))
+        assert a is not b
+        assert b.shape == (4, 12)
+
+    def test_invalidate_forces_new_buffer(self):
+        scratch = Im2colScratch()
+        a = scratch.request((4, 9))
+        scratch.invalidate()
+        b = scratch.request((4, 9))
+        assert a is not b
+
+    def test_conv2d_train_cache_survives_interleaved_forwards(self):
+        """The double-buffered train scratch must keep backward(t)'s
+        columns intact even when forward(t+1) already ran."""
+        from repro.nn.layers.conv2d import Conv2D
+
+        rng = np.random.default_rng(3)
+        x1 = rng.standard_normal((2, 1, 5, 5))
+        x2 = rng.standard_normal((2, 1, 5, 5))
+        g = rng.standard_normal((2, 2, 3, 3))
+
+        ref = Conv2D(1, 2, 3, seed=0)
+        ref.forward(x1, train=True)
+        expected_grad_x = ref.backward(g)
+        expected_grad_w = ref.grad_weight.copy()
+
+        layer = Conv2D(1, 2, 3, seed=0)
+        layer.forward(x1, train=True)
+        cached = layer._cache_cols.copy()
+        layer.forward(x2, train=False)  # eval scratch, independent
+        np.testing.assert_array_equal(layer._cache_cols, cached)
+        grad_x = layer.backward(g)
+        np.testing.assert_array_equal(grad_x, expected_grad_x)
+        np.testing.assert_array_equal(layer.grad_weight, expected_grad_w)
+
+    def test_conv2d_eval_forward_bitwise_stable_across_reuse(self):
+        from repro.nn.layers.conv2d import Conv2D
+
+        rng = np.random.default_rng(5)
+        layer = Conv2D(1, 2, 3, seed=0)
+        x = rng.standard_normal((2, 1, 5, 5))
+        first = layer.forward(x, train=False)
+        # Second call reuses the scratch buffer; output must not alias it.
+        second = layer.forward(x + 1.0, train=False)
+        third = layer.forward(x, train=False)
+        np.testing.assert_array_equal(first, third)
+        assert not np.array_equal(first, second)

@@ -1,0 +1,126 @@
+"""Tests for the committed perf trajectory (tools/perfbench + tools/perfgate).
+
+Two halves:
+
+* gate-logic tests — synthetic perfbench JSON payloads exercising the
+  pass/fail/ratchet/schema paths of ``tools.perfgate`` without running
+  any training;
+* a reduced-scale **smoke** run of the real macro-bench, asserting the
+  artifact schema and that the batched executor stays bit-identical on
+  a real (tiny) workload.
+"""
+
+import json
+
+import pytest
+
+from tools.perfgate import SCHEMA, check, load_report
+from tools.perfgate import main as perfgate_main
+
+
+def make_report(results):
+    return {"schema": SCHEMA, "workload": {}, "results": results}
+
+
+def cell(speedup, identical=True):
+    return {
+        "sequential_seconds": 1.0,
+        "batched_seconds": 1.0 / speedup,
+        "speedup": speedup,
+        "identical": identical,
+    }
+
+
+def write(path, payload):
+    path.write_text(json.dumps(payload))
+    return str(path)
+
+
+class TestGateLogic:
+    def test_passes_at_baseline(self):
+        baseline = make_report({"fedavg": cell(1.5)})
+        current = make_report({"fedavg": cell(1.5)})
+        passed, lines = check(current, baseline, tolerance=0.6)
+        assert passed and any("ok" in line for line in lines)
+
+    def test_passes_within_tolerance(self):
+        baseline = make_report({"fedavg": cell(1.5)})
+        current = make_report({"fedavg": cell(1.0)})  # floor = 0.9
+        passed, _ = check(current, baseline, tolerance=0.6)
+        assert passed
+
+    def test_fails_below_tolerance(self):
+        baseline = make_report({"fedavg": cell(2.0)})
+        current = make_report({"fedavg": cell(1.0)})  # floor = 1.2
+        passed, lines = check(current, baseline, tolerance=0.6)
+        assert not passed and any("FAIL" in line for line in lines)
+
+    def test_fails_when_not_identical(self):
+        baseline = make_report({"fedavg": cell(1.5)})
+        current = make_report({"fedavg": cell(5.0, identical=False)})
+        passed, lines = check(current, baseline, tolerance=0.6)
+        assert not passed
+        assert any("bit-identical" in line for line in lines)
+
+    def test_fails_on_missing_algorithm(self):
+        baseline = make_report({"fedavg": cell(1.5), "fedproxvr-svrg": cell(1.5)})
+        current = make_report({"fedavg": cell(1.5)})
+        passed, lines = check(current, baseline, tolerance=0.6)
+        assert not passed and any("missing" in line for line in lines)
+
+    def test_extra_current_algorithms_are_ignored(self):
+        baseline = make_report({"fedavg": cell(1.5)})
+        current = make_report({"fedavg": cell(1.5), "new-algo": cell(0.1)})
+        passed, _ = check(current, baseline, tolerance=0.6)
+        assert passed
+
+
+class TestCli:
+    def test_gate_pass_and_fail_exit_codes(self, tmp_path):
+        baseline = write(tmp_path / "base.json", make_report({"a": cell(1.5)}))
+        good = write(tmp_path / "good.json", make_report({"a": cell(1.4)}))
+        bad = write(tmp_path / "bad.json", make_report({"a": cell(0.5)}))
+        assert perfgate_main([good, "--baseline", baseline]) == 0
+        assert perfgate_main([bad, "--baseline", baseline]) == 1
+
+    def test_update_ratchets_baseline(self, tmp_path):
+        baseline = write(tmp_path / "base.json", make_report({"a": cell(1.2)}))
+        better = write(tmp_path / "better.json", make_report({"a": cell(1.8)}))
+        assert perfgate_main([better, "--baseline", baseline, "--update"]) == 0
+        assert load_report(baseline)["results"]["a"]["speedup"] == 1.8
+
+    def test_rejects_wrong_schema(self, tmp_path):
+        path = write(tmp_path / "bad.json", {"schema": "nope", "results": {"a": {}}})
+        with pytest.raises(ValueError, match="schema"):
+            load_report(path)
+
+    def test_rejects_empty_results(self, tmp_path):
+        path = write(tmp_path / "empty.json", {"schema": SCHEMA, "results": {}})
+        with pytest.raises(ValueError, match="no results"):
+            load_report(path)
+
+
+class TestMacroBenchSmoke:
+    """Reduced-scale end-to-end run of the real macro-bench."""
+
+    def test_smoke_artifact_and_bit_identity(self, tmp_path):
+        from tools.perfbench import main as perfbench_main
+
+        out = tmp_path / "bench.json"
+        rc = perfbench_main([
+            "--devices", "8", "--samples", "320", "--rounds", "1",
+            "--repeat", "1", "--output", str(out),
+        ])
+        assert rc == 0
+        payload = load_report(str(out))  # validates schema on the way in
+        assert set(payload["results"]) == {
+            "fedavg", "fedproxvr-svrg", "fedproxvr-sarah"
+        }
+        for algorithm, result in payload["results"].items():
+            assert result["identical"], (
+                f"{algorithm}: batched result must stay bit-identical"
+            )
+            assert result["speedup"] > 0
+        assert payload["min_speedup"] <= payload["geomean_speedup"]
+        # ... and the smoke artifact gates cleanly against itself.
+        assert perfgate_main([str(out), "--baseline", str(out)]) == 0

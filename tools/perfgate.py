@@ -1,0 +1,107 @@
+"""Gate the committed perf trajectory against a fresh perfbench run.
+
+Usage::
+
+    PYTHONPATH=src python -m tools.perfbench --scale 0.4 -o /tmp/bench.json
+    PYTHONPATH=src python -m tools.perfgate /tmp/bench.json \
+        --baseline BENCH_pr6.json --tolerance 0.6
+
+The gate compares *speedup ratios* (sequential / batched wall time per
+algorithm), never absolute seconds: both executors run the same FLOPs
+through the same BLAS, so the ratio is roughly machine-independent
+while raw timings are not.  A current run passes when, for every
+algorithm in the baseline:
+
+* the batched result is still bit-identical to sequential, and
+* ``current_speedup >= baseline_speedup * tolerance``.
+
+``--update`` rewrites the baseline from the current run — the ratchet:
+run it after a deliberate perf change, commit the new baseline, and
+regressions against the improved numbers start failing.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+import sys
+from typing import Dict, List, Optional, Tuple
+
+SCHEMA = "repro.perfbench/v1"
+
+
+def load_report(path: str) -> Dict[str, object]:
+    with open(path, "r", encoding="utf-8") as fh:
+        payload = json.load(fh)
+    if payload.get("schema") != SCHEMA:
+        raise ValueError(
+            f"{path}: expected schema {SCHEMA!r}, got {payload.get('schema')!r}"
+        )
+    if not isinstance(payload.get("results"), dict) or not payload["results"]:
+        raise ValueError(f"{path}: no results")
+    return payload
+
+
+def check(
+    current: Dict[str, object],
+    baseline: Dict[str, object],
+    tolerance: float,
+) -> Tuple[bool, List[str]]:
+    """Evaluate the gate; returns (passed, report lines)."""
+    lines: List[str] = []
+    passed = True
+    for algorithm, base in baseline["results"].items():
+        cur = current["results"].get(algorithm)
+        if cur is None:
+            lines.append(f"FAIL {algorithm}: missing from current run")
+            passed = False
+            continue
+        if not cur.get("identical", False):
+            lines.append(
+                f"FAIL {algorithm}: batched result no longer bit-identical "
+                f"to sequential"
+            )
+            passed = False
+            continue
+        floor = float(base["speedup"]) * tolerance
+        speedup = float(cur["speedup"])
+        verdict = "ok  " if speedup >= floor else "FAIL"
+        if speedup < floor:
+            passed = False
+        lines.append(
+            f"{verdict} {algorithm}: speedup {speedup:.2f}x "
+            f"(baseline {float(base['speedup']):.2f}x, floor {floor:.2f}x)"
+        )
+    return passed, lines
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("current", help="perfbench JSON from the current tree")
+    parser.add_argument("--baseline", default="BENCH_pr6.json",
+                        help="committed trajectory artifact (default: %(default)s)")
+    parser.add_argument("--tolerance", type=float, default=0.6,
+                        help="fraction of the baseline speedup that must "
+                             "survive (default: %(default)s; guards against "
+                             "scheduler noise without hiding real regressions)")
+    parser.add_argument("--update", action="store_true",
+                        help="ratchet: overwrite the baseline with the "
+                             "current run instead of gating")
+    args = parser.parse_args(argv)
+
+    current = load_report(args.current)
+    if args.update:
+        shutil.copyfile(args.current, args.baseline)
+        print(f"baseline {args.baseline} updated from {args.current}")
+        return 0
+    baseline = load_report(args.baseline)
+    passed, lines = check(current, baseline, args.tolerance)
+    for line in lines:
+        print(line)
+    print("perf gate:", "PASS" if passed else "FAIL")
+    return 0 if passed else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
