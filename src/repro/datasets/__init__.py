@@ -14,13 +14,18 @@ partitioned across devices with power-law sizes and a limited number of
 labels per device.
 """
 
-from repro.datasets.base import DeviceData, FederatedDataset
+from repro.datasets.base import DeviceData, FederatedDataset, LazyFederatedDataset
 from repro.datasets.partition import (
+    PartitionPlan,
     pathological_partition,
     power_law_sizes,
     label_distribution,
 )
-from repro.datasets.splits import train_test_split_device
+from repro.datasets.splits import (
+    train_split_size,
+    train_split_sizes,
+    train_test_split_device,
+)
 from repro.datasets.synthetic import make_synthetic
 from repro.datasets.digits import make_digits
 from repro.datasets.fashion import make_fashion
@@ -28,11 +33,15 @@ from repro.datasets.fashion import make_fashion
 __all__ = [
     "DeviceData",
     "FederatedDataset",
+    "LazyFederatedDataset",
+    "PartitionPlan",
     "label_distribution",
     "make_digits",
     "make_fashion",
     "make_synthetic",
     "pathological_partition",
     "power_law_sizes",
+    "train_split_size",
+    "train_split_sizes",
     "train_test_split_device",
 ]

@@ -9,7 +9,7 @@ line 12 and the global objective (2) weight by).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -83,6 +83,15 @@ class FederatedDataset:
         """The paper's ``N``."""
         return len(self.devices)
 
+    def device(self, index: int) -> DeviceData:
+        """Shard of device ``index`` (same protocol as the lazy dataset)."""
+        return self.devices[index]
+
+    @property
+    def train_sizes(self) -> np.ndarray:
+        """Per-device ``D_n`` as a packed int64 vector."""
+        return np.array([d.num_train for d in self.devices], dtype=np.int64)
+
     @property
     def total_train(self) -> int:
         """The paper's ``D = sum_n D_n``."""
@@ -119,4 +128,148 @@ class FederatedDataset:
             f"samples (per-device range [{lo}, {hi}]), {self.num_features} "
             f"features, {self.num_classes} classes, "
             f"labels/device in [{min(labels)}, {max(labels)}]"
+        )
+
+
+class LazyFederatedDataset:
+    """A federation whose shards are materialized on demand.
+
+    Registered-population metadata — per-device training sizes, feature
+    and class counts — lives in packed ndarrays, so holding ``N = 10^6``
+    devices costs megabytes, not the gigabytes of ``N`` resident shards.
+    ``device(k)`` rebuilds device ``k``'s :class:`DeviceData` from its
+    seed-derived stream; generators guarantee the rebuilt shard is
+    bit-identical to the one the eager constructor would have produced,
+    so lazy and eager runs of the same seed agree exactly.
+
+    Aggregation weights ``p_n = D_n / D`` and every other Theorem-1
+    quantity that only needs sizes read :attr:`train_sizes` without
+    touching a shard.  ``.devices`` materializes (and caches) the whole
+    federation for backward compatibility — an explicit O(N) escape
+    hatch, not something the lazy training path ever calls.
+    """
+
+    def __init__(
+        self,
+        device_factory: Callable[[int], DeviceData],
+        *,
+        train_sizes: np.ndarray,
+        num_features: int,
+        num_classes: int,
+        name: str = "federated-lazy",
+        extra: Optional[Dict[str, object]] = None,
+    ) -> None:
+        self.device_factory = device_factory
+        self.train_sizes = np.asarray(train_sizes, dtype=np.int64)
+        if self.train_sizes.ndim != 1 or self.train_sizes.shape[0] == 0:
+            raise ConfigurationError(
+                "train_sizes must be a non-empty 1-D vector"
+            )
+        if int(self.train_sizes.min()) < 1:
+            raise ConfigurationError(
+                "every device needs >= 1 training sample"
+            )
+        self.num_features = int(num_features)
+        self.num_classes = int(num_classes)
+        self.name = name
+        self.extra: Dict[str, object] = dict(extra or {})
+        self._materialized: Optional[List[DeviceData]] = None
+
+    @property
+    def num_devices(self) -> int:
+        """The paper's ``N`` — a metadata lookup, no shards involved."""
+        return int(self.train_sizes.shape[0])
+
+    @property
+    def total_train(self) -> int:
+        """The paper's ``D = sum_n D_n`` from packed metadata."""
+        return int(self.train_sizes.sum())
+
+    def weights(self) -> np.ndarray:
+        """Aggregation weights ``p_n = D_n / D`` from packed metadata."""
+        sizes = self.train_sizes.astype(np.float64)
+        return sizes / sizes.sum()
+
+    def device(self, index: int) -> DeviceData:
+        """Materialize device ``index``'s shard from its seeded stream."""
+        if not 0 <= index < self.num_devices:
+            raise ConfigurationError(
+                f"device index {index} out of range [0, {self.num_devices})"
+            )
+        if self._materialized is not None:
+            return self._materialized[index]
+        dev = self.device_factory(index)
+        if dev.device_id != index:
+            raise ConfigurationError(
+                f"device factory returned id {dev.device_id} for index {index}"
+            )
+        if dev.num_train != int(self.train_sizes[index]):
+            raise ConfigurationError(
+                f"device {index} materialized {dev.num_train} train samples, "
+                f"metadata says {int(self.train_sizes[index])}"
+            )
+        if dev.X_train.shape[1] != self.num_features:
+            raise DimensionMismatchError(
+                f"device {index} has {dev.X_train.shape[1]} features, "
+                f"dataset declares {self.num_features}"
+            )
+        return dev
+
+    @property
+    def devices(self) -> List[DeviceData]:
+        """All shards, materialized and cached — an explicit O(N) walk."""
+        if self._materialized is None:
+            self._materialized = [self.device(k) for k in range(self.num_devices)]
+        return self._materialized
+
+    def materialize(self) -> FederatedDataset:
+        """Eager :class:`FederatedDataset` with every shard resident."""
+        return FederatedDataset(
+            devices=list(self.devices),
+            num_features=self.num_features,
+            num_classes=self.num_classes,
+            name=self.name,
+            extra=dict(self.extra),
+        )
+
+    def global_train(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Concatenated training data (materializes every shard)."""
+        X = np.concatenate([d.X_train for d in self.devices], axis=0)
+        y = np.concatenate([d.y_train for d in self.devices], axis=0)
+        return X, y
+
+    def global_test(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Concatenated test data (materializes every shard)."""
+        X = np.concatenate([d.X_test for d in self.devices], axis=0)
+        y = np.concatenate([d.y_test for d in self.devices], axis=0)
+        return X, y
+
+    def probe_train(self, max_devices: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Training data of the first ``max_devices`` shards.
+
+        The smoothness probe's bounded stand-in for ``global_train``:
+        when ``max_devices >= N`` it returns exactly the global
+        concatenation, so small-federation runs keep the eager path's
+        ``L`` bit-for-bit.
+        """
+        count = min(int(max_devices), self.num_devices)
+        if count < 1:
+            raise ConfigurationError("probe needs >= 1 device")
+        shards = [self.device(k) for k in range(count)]
+        X = np.concatenate([d.X_train for d in shards], axis=0)
+        y = np.concatenate([d.y_train for d in shards], axis=0)
+        return X, y
+
+    def size_range(self) -> Tuple[int, int]:
+        """(min, max) per-device training sizes from packed metadata."""
+        return (int(self.train_sizes.min()), int(self.train_sizes.max()))
+
+    def summary(self) -> str:
+        """Human-readable one-paragraph description (metadata only)."""
+        lo, hi = self.size_range()
+        return (
+            f"{self.name}: {self.num_devices} devices (lazy), "
+            f"{self.total_train} train samples (per-device range "
+            f"[{lo}, {hi}]), {self.num_features} features, "
+            f"{self.num_classes} classes"
         )

@@ -8,15 +8,20 @@ texture, mimicking the softer intra-class structure of Fashion-MNIST.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Union
 
 import numpy as np
 
-from repro.datasets.base import DeviceData, FederatedDataset
+from repro.datasets.base import DeviceData, FederatedDataset, LazyFederatedDataset
 from repro.datasets.imaging import render_prototype, synthesize_corpus
-from repro.datasets.partition import pathological_partition, power_law_sizes
-from repro.datasets.splits import train_test_split_device
-from repro.utils.rng import SeedLike, spawn_generators
+from repro.datasets.partition import (
+    PartitionPlan,
+    pathological_partition,
+    power_law_sizes,
+)
+from repro.datasets.splits import train_split_sizes, train_test_split_device
+from repro.exceptions import ConfigurationError
+from repro.utils.rng import SeedLike, derive_generator, spawn_generators
 from repro.utils.validation import check_positive_int
 
 #: label order follows Fashion-MNIST: 0 t-shirt ... 9 ankle boot
@@ -48,17 +53,38 @@ def make_fashion(
     max_size: int = 1400,
     train_fraction: float = 0.75,
     seed: SeedLike = 0,
-) -> FederatedDataset:
+    lazy: bool = False,
+) -> Union[FederatedDataset, LazyFederatedDataset]:
     """Generate the Fashion-MNIST-like federated dataset.
 
     Device sizes are clipped to ``[min_size, max_size]`` (paper reports
     Fashion-MNIST device sizes in [37, 1350]).
+
+    With ``lazy=True`` the shared corpus and the packed partition plan
+    are built once, but no per-device shard arrays exist until
+    ``device(n)`` is called: each shard is then sliced from the corpus
+    and split with device ``n``'s re-derived stream, bit-identical to
+    the eager constructor.  Resident cost is O(corpus + N metadata)
+    instead of O(corpus copied into N shards).
     """
     check_positive_int("num_devices", num_devices)
     check_positive_int("num_samples", num_samples)
-    corpus_rng, size_rng, part_rng, *split_rngs = spawn_generators(
-        seed, num_devices + 3
-    )
+    if lazy and isinstance(seed, np.random.Generator):
+        raise ConfigurationError(
+            "lazy fashion datasets need a stable seed (int/SeedSequence) "
+            "so device split streams can be re-derived on demand"
+        )
+    if lazy:
+        # Pin the entropy (seed=None draws OS entropy once); children 0-2
+        # drive corpus/sizes/partition, device n's split stream is child
+        # n+3, re-derived on demand.
+        if not isinstance(seed, np.random.SeedSequence):
+            seed = np.random.SeedSequence(seed)
+        corpus_rng, size_rng, part_rng = spawn_generators(seed, 3)
+    else:
+        corpus_rng, size_rng, part_rng, *split_rngs = spawn_generators(
+            seed, num_devices + 3
+        )
     X, y = synthesize_corpus(
         garment_prototypes(),
         num_samples,
@@ -73,6 +99,32 @@ def make_fashion(
     partitions = pathological_partition(
         y, num_devices, labels_per_device=labels_per_device, sizes=sizes, seed=part_rng
     )
+    extra = {"labels_per_device": labels_per_device}
+
+    if lazy:
+        plan = PartitionPlan.from_lists(partitions)
+        del partitions  # drop the N Python arrays; the plan is packed
+        base_entropy = seed.entropy
+
+        def factory(n: int) -> DeviceData:
+            idx = plan.device_indices(n)
+            X_tr, y_tr, X_te, y_te = train_test_split_device(
+                X[idx],
+                y[idx],
+                train_fraction=train_fraction,
+                seed=derive_generator(base_entropy, n + 3),
+            )
+            return DeviceData(n, X_tr, y_tr, X_te, y_te)
+
+        return LazyFederatedDataset(
+            factory,
+            train_sizes=train_split_sizes(plan.device_sizes(), train_fraction),
+            num_features=X.shape[1],
+            num_classes=10,
+            name="fashion-mnist-like",
+            extra=extra,
+        )
+
     devices = []
     for n, idx in enumerate(partitions):
         X_tr, y_tr, X_te, y_te = train_test_split_device(
@@ -84,5 +136,6 @@ def make_fashion(
         num_features=X.shape[1],
         num_classes=10,
         name="fashion-mnist-like",
-        extra={"labels_per_device": labels_per_device},
+        extra=extra,
     )
+

@@ -7,6 +7,7 @@ device contains only two different labels over 10 labels."
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
@@ -14,6 +15,66 @@ import numpy as np
 from repro.exceptions import ConfigurationError
 from repro.utils.rng import SeedLike, as_generator
 from repro.utils.validation import check_positive, check_positive_int
+
+
+@dataclass(frozen=True)
+class PartitionPlan:
+    """Packed per-device index assignment over a shared corpus.
+
+    Stores one concatenated int64 index vector plus an offsets vector
+    instead of ``N`` separate Python arrays: the per-device overhead is
+    two int64 slots, so plans for ``N = 10^5``-device federations stay
+    cheap to hold while shards are materialized lazily via
+    :meth:`device_indices`.
+    """
+
+    indices: np.ndarray
+    offsets: np.ndarray
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "indices", np.ascontiguousarray(self.indices, dtype=np.int64)
+        )
+        object.__setattr__(
+            self, "offsets", np.ascontiguousarray(self.offsets, dtype=np.int64)
+        )
+        if self.offsets.ndim != 1 or self.offsets.shape[0] < 2:
+            raise ConfigurationError("offsets must cover >= 1 device")
+        if int(self.offsets[0]) != 0 or int(self.offsets[-1]) != self.indices.shape[0]:
+            raise ConfigurationError("offsets must span the index vector")
+        if np.any(np.diff(self.offsets) < 0):
+            raise ConfigurationError("offsets must be non-decreasing")
+
+    @classmethod
+    def from_lists(cls, partitions: Sequence[np.ndarray]) -> "PartitionPlan":
+        """Pack a list-of-index-arrays partition (the legacy format)."""
+        if not partitions:
+            raise ConfigurationError("plan needs >= 1 device")
+        sizes = np.array([len(p) for p in partitions], dtype=np.int64)
+        offsets = np.concatenate([[0], np.cumsum(sizes)])
+        return cls(np.concatenate(partitions), offsets)
+
+    @property
+    def num_devices(self) -> int:
+        return int(self.offsets.shape[0] - 1)
+
+    def device_sizes(self) -> np.ndarray:
+        """Per-device sample counts as a packed int64 vector."""
+        return np.diff(self.offsets)
+
+    def device_indices(self, device: int) -> np.ndarray:
+        """Corpus indices assigned to ``device`` (a zero-copy view)."""
+        if not 0 <= device < self.num_devices:
+            raise ConfigurationError(
+                f"device {device} out of range [0, {self.num_devices})"
+            )
+        return self.indices[self.offsets[device] : self.offsets[device + 1]]
+
+    def to_lists(self) -> List[np.ndarray]:
+        """Back to the legacy list-of-arrays format (copies)."""
+        return [
+            np.array(self.device_indices(n)) for n in range(self.num_devices)
+        ]
 
 
 def power_law_sizes(

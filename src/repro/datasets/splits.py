@@ -10,6 +10,29 @@ from repro.utils.rng import SeedLike, as_generator
 from repro.utils.validation import check_in_range
 
 
+def train_split_size(n: int, train_fraction: float = 0.75) -> int:
+    """Training-shard size the split assigns to an ``n``-sample device.
+
+    The single source of truth shared by :func:`train_test_split_device`
+    and the lazy datasets' packed ``train_sizes`` metadata, which must
+    predict ``num_train`` without materializing the shard.
+    """
+    check_in_range("train_fraction", train_fraction, 0.0, 1.0, inclusive="neither")
+    return min(max(1, int(round(n * train_fraction))), n)
+
+
+def train_split_sizes(
+    sizes: np.ndarray, train_fraction: float = 0.75
+) -> np.ndarray:
+    """Vectorized :func:`train_split_size` over per-device sample counts."""
+    check_in_range("train_fraction", train_fraction, 0.0, 1.0, inclusive="neither")
+    sizes = np.asarray(sizes, dtype=np.int64)
+    # np.round matches Python round() here: n * fraction with n integral
+    # and fraction in (0, 1) banker's-rounds identically in both.
+    cuts = np.maximum(1, np.round(sizes * train_fraction).astype(np.int64))
+    return np.minimum(cuts, sizes)
+
+
 def train_test_split_device(
     X: np.ndarray,
     y: np.ndarray,
@@ -22,13 +45,11 @@ def train_test_split_device(
     Guarantees at least one training sample; a device with a single
     sample puts it in training and leaves the test shard empty.
     """
-    check_in_range("train_fraction", train_fraction, 0.0, 1.0, inclusive="neither")
     X = np.asarray(X)
     y = np.asarray(y)
     n = X.shape[0]
     rng = as_generator(seed)
     order = rng.permutation(n)
-    cut = max(1, int(round(n * train_fraction)))
-    cut = min(cut, n)
+    cut = train_split_size(n, train_fraction)
     train_idx, test_idx = order[:cut], order[cut:]
     return X[train_idx], y[train_idx], X[test_idx], y[test_idx]

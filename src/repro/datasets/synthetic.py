@@ -14,18 +14,66 @@ device-specific Gaussian.
 ``alpha = beta = 0`` still yields non-IID data (each device keeps its
 own ``W_k``); pass ``iid=True`` for the fully-IID control where one
 shared ``(W, b, v)`` generates every device's data.
+
+``lazy=True`` returns a :class:`~repro.datasets.base.LazyFederatedDataset`
+holding only packed per-device metadata; each shard is regenerated on
+demand from its seed-derived stream, bit-identical to the eager path.
+That works because device ``k``'s stream is the ``k+2``-th spawned child
+of the seed (``spawn_key=(k+2,)``), addressable directly through
+:func:`repro.utils.rng.derive_generator` without spawning the other
+``N-1`` children.
 """
 
 from __future__ import annotations
 
+from typing import Union
+
 import numpy as np
 
-from repro.datasets.base import DeviceData, FederatedDataset
+from repro.datasets.base import DeviceData, FederatedDataset, LazyFederatedDataset
 from repro.datasets.partition import power_law_sizes
-from repro.datasets.splits import train_test_split_device
+from repro.datasets.splits import train_split_sizes, train_test_split_device
+from repro.exceptions import ConfigurationError
 from repro.nn.losses import softmax
-from repro.utils.rng import SeedLike, spawn_generators
+from repro.utils.rng import SeedLike, derive_generator, spawn_generators
 from repro.utils.validation import check_in_range, check_positive, check_positive_int
+
+
+def _synthetic_device(
+    k: int,
+    rng: np.random.Generator,
+    *,
+    n_k: int,
+    scale: np.ndarray,
+    shared: "tuple[np.ndarray, np.ndarray, np.ndarray]",
+    alpha: float,
+    beta: float,
+    iid: bool,
+    train_fraction: float,
+) -> DeviceData:
+    """Generate device ``k``'s shard from its dedicated stream.
+
+    All randomness comes from ``rng`` alone, so eager and lazy
+    construction produce bit-identical shards from the same child seed.
+    """
+    num_features = scale.shape[0]
+    shared_W, shared_b, shared_v = shared
+    num_classes = shared_b.shape[0]
+    if iid:
+        W, b, v = shared_W, shared_b, shared_v
+    else:
+        u_k = rng.normal(0.0, np.sqrt(alpha)) if alpha > 0 else 0.0
+        W = rng.normal(u_k, 1.0, size=(num_features, num_classes))
+        b = rng.normal(u_k, 1.0, size=num_classes)
+        B_k = rng.normal(0.0, np.sqrt(beta)) if beta > 0 else 0.0
+        v = rng.normal(B_k, 1.0, size=num_features)
+    X = v[None, :] + rng.standard_normal((n_k, num_features)) * scale[None, :]
+    probs = softmax(X @ W + b)
+    y = np.argmax(probs, axis=1)
+    X_tr, y_tr, X_te, y_te = train_test_split_device(
+        X, y, train_fraction=train_fraction, seed=rng
+    )
+    return DeviceData(k, X_tr, y_tr, X_te, y_te)
 
 
 def make_synthetic(
@@ -40,12 +88,15 @@ def make_synthetic(
     max_size: int = 4000,
     train_fraction: float = 0.75,
     seed: SeedLike = 0,
-) -> FederatedDataset:
+    lazy: bool = False,
+) -> Union[FederatedDataset, LazyFederatedDataset]:
     """Generate a ``Synthetic(alpha, beta)`` federated dataset.
 
     Returns a :class:`FederatedDataset` whose per-device sizes follow a
     power law in ``[min_size, max_size]`` and whose shards are split
-    75/25 (paper default) into train/test.
+    75/25 (paper default) into train/test.  With ``lazy=True`` only the
+    O(N) metadata (sizes, shared parameters) is computed up front and a
+    :class:`LazyFederatedDataset` materializes shards on demand.
     """
     check_positive("alpha", alpha, strict=False)
     check_positive("beta", beta, strict=False)
@@ -53,8 +104,24 @@ def make_synthetic(
     check_positive_int("num_features", num_features)
     check_positive_int("num_classes", num_classes, minimum=2)
     check_in_range("train_fraction", train_fraction, 0.0, 1.0, inclusive="neither")
+    if lazy and isinstance(seed, np.random.Generator):
+        raise ConfigurationError(
+            "lazy synthetic datasets need a stable seed (int/SeedSequence) "
+            "so device streams can be re-derived on demand"
+        )
 
-    size_rng, shared_rng, *device_rngs = spawn_generators(seed, num_devices + 2)
+    if lazy:
+        # Pin the entropy now (seed=None draws fresh OS entropy once) so
+        # every later re-derivation of a device stream is stable.  Only
+        # children 0 (sizes) and 1 (shared params) are spawned; device
+        # k's child (spawn_key=(k+2,)) is derived on demand.
+        if not isinstance(seed, np.random.SeedSequence):
+            seed = np.random.SeedSequence(seed)
+        size_rng, shared_rng = spawn_generators(seed, 2)
+    else:
+        size_rng, shared_rng, *device_rngs = spawn_generators(
+            seed, num_devices + 2
+        )
     sizes = power_law_sizes(
         num_devices, min_size=min_size, max_size=max_size, seed=size_rng
     )
@@ -65,31 +132,54 @@ def make_synthetic(
     shared_W = shared_rng.standard_normal((num_features, num_classes))
     shared_b = shared_rng.standard_normal(num_classes)
     shared_v = shared_rng.standard_normal(num_features)
+    shared = (shared_W, shared_b, shared_v)
 
-    devices = []
-    for k in range(num_devices):
-        rng = device_rngs[k]
-        if iid:
-            W, b, v = shared_W, shared_b, shared_v
-        else:
-            u_k = rng.normal(0.0, np.sqrt(alpha)) if alpha > 0 else 0.0
-            W = rng.normal(u_k, 1.0, size=(num_features, num_classes))
-            b = rng.normal(u_k, 1.0, size=num_classes)
-            B_k = rng.normal(0.0, np.sqrt(beta)) if beta > 0 else 0.0
-            v = rng.normal(B_k, 1.0, size=num_features)
-        n_k = int(sizes[k])
-        X = v[None, :] + rng.standard_normal((n_k, num_features)) * scale[None, :]
-        probs = softmax(X @ W + b)
-        y = np.argmax(probs, axis=1)
-        X_tr, y_tr, X_te, y_te = train_test_split_device(
-            X, y, train_fraction=train_fraction, seed=rng
+    name = f"synthetic({alpha},{beta})" + ("-iid" if iid else "")
+    extra = {"alpha": alpha, "beta": beta, "iid": iid}
+
+    if lazy:
+        base_entropy = seed.entropy if isinstance(seed, np.random.SeedSequence) else seed
+
+        def factory(k: int) -> DeviceData:
+            return _synthetic_device(
+                k,
+                derive_generator(base_entropy, k + 2),
+                n_k=int(sizes[k]),
+                scale=scale,
+                shared=shared,
+                alpha=alpha,
+                beta=beta,
+                iid=iid,
+                train_fraction=train_fraction,
+            )
+
+        return LazyFederatedDataset(
+            factory,
+            train_sizes=train_split_sizes(sizes, train_fraction),
+            num_features=num_features,
+            num_classes=num_classes,
+            name=name,
+            extra=extra,
         )
-        devices.append(DeviceData(k, X_tr, y_tr, X_te, y_te))
 
+    devices = [
+        _synthetic_device(
+            k,
+            device_rngs[k],
+            n_k=int(sizes[k]),
+            scale=scale,
+            shared=shared,
+            alpha=alpha,
+            beta=beta,
+            iid=iid,
+            train_fraction=train_fraction,
+        )
+        for k in range(num_devices)
+    ]
     return FederatedDataset(
         devices=devices,
         num_features=num_features,
         num_classes=num_classes,
-        name=f"synthetic({alpha},{beta})" + ("-iid" if iid else ""),
-        extra={"alpha": alpha, "beta": beta, "iid": iid},
+        name=name,
+        extra=extra,
     )

@@ -18,7 +18,12 @@ from repro.fl.aggregation import (
     trimmed_mean,
 )
 from repro.fl.client import Client
-from repro.fl.delays import DelayModel, make_uniform_delays, make_heterogeneous_delays
+from repro.fl.delays import (
+    DelayModel,
+    PackedDelayModel,
+    make_uniform_delays,
+    make_heterogeneous_delays,
+)
 from repro.fl.executor import (
     BatchedCohortExecutor,
     SequentialExecutor,
@@ -26,8 +31,14 @@ from repro.fl.executor import (
 )
 from repro.fl.history import RoundRecord, TrainingHistory
 from repro.fl.metrics import global_loss, global_accuracy, global_gradient_norm
+from repro.fl.registry import (
+    ClientRegistry,
+    EagerClientPool,
+    LazyClientPool,
+    VirtualClient,
+)
 from repro.fl.server import FederatedServer
-from repro.fl.runner import FederatedRunConfig, run_federated
+from repro.fl.runner import FederatedRunConfig, build_client_pool, run_federated
 from repro.fl.fsvrg import run_fsvrg
 from repro.fl.tuning import (
     SearchReport,
@@ -40,15 +51,21 @@ from repro.fl.tuning import (
 __all__ = [
     "BatchedCohortExecutor",
     "Client",
+    "ClientRegistry",
     "DelayModel",
+    "EagerClientPool",
     "FederatedRunConfig",
     "FederatedServer",
+    "LazyClientPool",
+    "PackedDelayModel",
     "RoundRecord",
     "SearchReport",
     "SearchSpace",
     "SequentialExecutor",
     "ThreadPoolClientExecutor",
     "TrainingHistory",
+    "VirtualClient",
+    "build_client_pool",
     "compare_algorithms",
     "coordinate_median",
     "format_table",

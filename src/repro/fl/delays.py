@@ -6,18 +6,25 @@ server.  The paper's total training time (19) is
 ``T (d_com + d_cmp tau)``; in simulation we charge each round by the
 *slowest* device (synchronous aggregation) through
 :class:`repro.utils.timing.SimulatedClock`.
+
+Delay models are **index-addressable**: the server draws only the
+selected cohort's delays through :meth:`DelayModel.round_delay_at`, so
+partial participation over ``N = 10^6`` registered devices never walks
+an O(N) delay list.  :class:`PackedDelayModel` goes further and stores
+the constants as scalars or packed ndarrays — ``make_uniform_delays``
+is O(1) memory at any population size.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List, Optional, Sequence, Union
 
 import numpy as np
 
 from repro.exceptions import ConfigurationError
 from repro.utils.rng import SeedLike, as_generator
-from repro.utils.validation import check_positive
+from repro.utils.validation import check_positive, check_positive_int
 
 
 @dataclass(frozen=True)
@@ -46,7 +53,7 @@ class DeviceDelay:
 
 
 class DelayModel:
-    """Delay constants for a whole federation."""
+    """Delay constants for a whole federation (materialized list form)."""
 
     def __init__(self, delays: Sequence[DeviceDelay]) -> None:
         if not delays:
@@ -56,28 +63,135 @@ class DelayModel:
     def __len__(self) -> int:
         return len(self.delays)
 
+    def delay_at(self, index: int) -> DeviceDelay:
+        """Device ``index``'s delay constants (index-addressable access)."""
+        if not 0 <= index < len(self):
+            raise ConfigurationError(
+                f"delay index {index} out of range [0, {len(self)})"
+            )
+        return self.delays[index]
+
+    def round_delay_at(self, index: int, num_gradient_evaluations: int) -> float:
+        """Delay of one round for device ``index`` only.
+
+        The partial-participation hot path: the server charges just the
+        selected cohort, never materializing per-device delay objects
+        for the rest of the registered population.
+        """
+        return self.delay_at(index).round_delay(num_gradient_evaluations)
+
     def round_delays(self, evaluation_counts: Sequence[int]) -> List[float]:
         """Per-device delays of one round, ordered like the devices."""
-        if len(evaluation_counts) != len(self.delays):
+        if len(evaluation_counts) != len(self):
             raise ConfigurationError(
-                f"{len(evaluation_counts)} counts for {len(self.delays)} devices"
+                f"{len(evaluation_counts)} counts for {len(self)} devices"
             )
         return [
-            d.round_delay(c) for d, c in zip(self.delays, evaluation_counts)
+            self.round_delay_at(i, c) for i, c in enumerate(evaluation_counts)
         ]
 
     def mean_gamma(self) -> float:
         """Federation-average weight factor."""
-        return float(np.mean([d.gamma for d in self.delays]))
+        return float(
+            np.mean([self.delay_at(i).gamma for i in range(len(self))])
+        )
+
+
+class PackedDelayModel(DelayModel):
+    """Delay constants stored as scalars or packed float64 vectors.
+
+    ``d_cmp``/``d_com`` may each be a scalar (every device identical —
+    O(1) memory regardless of ``num_devices``) or a length-``N`` vector.
+    :meth:`delay_at` builds a :class:`DeviceDelay` on demand; the
+    backward-compatible ``.delays`` list materializes lazily and should
+    only be touched by small-federation diagnostics.
+    """
+
+    def __init__(
+        self,
+        d_cmp: Union[float, np.ndarray],
+        d_com: Union[float, np.ndarray],
+        num_devices: Optional[int] = None,
+    ) -> None:
+        cmp_arr = np.asarray(d_cmp, dtype=np.float64)
+        com_arr = np.asarray(d_com, dtype=np.float64)
+        for name, arr in (("d_cmp", cmp_arr), ("d_com", com_arr)):
+            if arr.ndim > 1:
+                raise ConfigurationError(f"{name} must be scalar or 1-D")
+            if arr.size and float(arr.min()) < 0.0:
+                raise ConfigurationError(f"{name} entries must be >= 0")
+        lengths = {a.shape[0] for a in (cmp_arr, com_arr) if a.ndim == 1}
+        if num_devices is not None:
+            check_positive_int("num_devices", num_devices)
+            lengths.add(int(num_devices))
+        if len(lengths) > 1:
+            raise ConfigurationError(
+                f"inconsistent delay-model lengths: {sorted(lengths)}"
+            )
+        if not lengths:
+            raise ConfigurationError(
+                "scalar delays need an explicit num_devices"
+            )
+        self._n = lengths.pop()
+        if self._n < 1:
+            raise ConfigurationError("PackedDelayModel requires >= 1 device")
+        self._d_cmp = cmp_arr
+        self._d_com = com_arr
+        self._materialized: Optional[List[DeviceDelay]] = None
+
+    def __len__(self) -> int:
+        return self._n
+
+    def _value(self, arr: np.ndarray, index: int) -> float:
+        return float(arr) if arr.ndim == 0 else float(arr[index])
+
+    def delay_at(self, index: int) -> DeviceDelay:
+        if not 0 <= index < self._n:
+            raise ConfigurationError(
+                f"delay index {index} out of range [0, {self._n})"
+            )
+        return DeviceDelay(
+            self._value(self._d_cmp, index), self._value(self._d_com, index)
+        )
+
+    def round_delay_at(self, index: int, num_gradient_evaluations: int) -> float:
+        if not 0 <= index < self._n:
+            raise ConfigurationError(
+                f"delay index {index} out of range [0, {self._n})"
+            )
+        if num_gradient_evaluations < 0:
+            raise ConfigurationError("negative gradient-evaluation count")
+        return self._value(self._d_com, index) + self._value(
+            self._d_cmp, index
+        ) * num_gradient_evaluations
+
+    def mean_gamma(self) -> float:
+        cmp_v = np.broadcast_to(self._d_cmp, (self._n,))
+        com_v = np.broadcast_to(self._d_com, (self._n,))
+        safe = np.where(com_v == 0.0, 1.0, com_v)
+        gammas = np.where(com_v == 0.0, np.inf, cmp_v / safe)
+        return float(np.mean(gammas))
+
+    @property
+    def delays(self) -> List[DeviceDelay]:
+        """Materialized per-device list (O(N) — diagnostics only)."""
+        if self._materialized is None:
+            self._materialized = [self.delay_at(i) for i in range(self._n)]
+        return self._materialized
 
 
 def make_uniform_delays(
     num_devices: int, *, d_cmp: float = 1e-3, d_com: float = 1.0
-) -> DelayModel:
-    """All devices identical — the setting of the §4.3 analysis."""
+) -> PackedDelayModel:
+    """All devices identical — the setting of the §4.3 analysis.
+
+    Returns a :class:`PackedDelayModel` holding two scalars, so the
+    default delay model is free even for ``N = 10^6`` registered
+    devices.
+    """
     if num_devices < 1:
         raise ConfigurationError("num_devices must be >= 1")
-    return DelayModel([DeviceDelay(d_cmp, d_com)] * num_devices)
+    return PackedDelayModel(float(d_cmp), float(d_com), num_devices)
 
 
 def make_heterogeneous_delays(
@@ -87,10 +201,12 @@ def make_heterogeneous_delays(
     d_com_mean: float = 1.0,
     spread: float = 0.5,
     seed: SeedLike = None,
-) -> DelayModel:
+) -> PackedDelayModel:
     """Lognormal device-to-device delay variation (straggler modeling).
 
     ``spread`` is the lognormal sigma; 0 reduces to uniform delays.
+    Returns a :class:`PackedDelayModel` over two length-``N`` vectors
+    (the draws are vectorized, no per-device objects).
     """
     if num_devices < 1:
         raise ConfigurationError("num_devices must be >= 1")
@@ -102,6 +218,4 @@ def make_heterogeneous_delays(
     offset = -0.5 * spread**2
     cmp_draws = d_cmp_mean * np.exp(rng.normal(offset, spread, num_devices))
     com_draws = d_com_mean * np.exp(rng.normal(offset, spread, num_devices))
-    return DelayModel(
-        [DeviceDelay(float(a), float(b)) for a, b in zip(cmp_draws, com_draws)]
-    )
+    return PackedDelayModel(cmp_draws, com_draws)

@@ -65,6 +65,13 @@ class ClientExecutor(ABC):
         selection.  Executors that pre-place per-client state — the
         process pool maps data shards into shared memory at start-up —
         need the full population here.  Default: nothing to do.
+
+        Under the virtual-client path (``repro.fl.registry``) there is
+        no materialized population and this hook is never called: each
+        ``run_round`` simply receives that round's lazily hydrated
+        cohort.  All executors accept hydrated cohorts unchanged; the
+        per-round validation/plan caches below re-key automatically when
+        LRU eviction rebuilds a client object.
         """
 
     def close(self) -> None:

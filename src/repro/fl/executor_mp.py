@@ -170,7 +170,10 @@ class ProcessPoolClientExecutor(ClientExecutor):
             raise RuntimeError(
                 "process executor got a client outside the registered "
                 "population; shards live in shared memory mapped at "
-                "pool start-up"
+                "pool start-up.  Virtual-client runs must keep the cohort "
+                "stable: full participation with an LRU pool holding the "
+                "whole federation (the runner's default at "
+                "client_fraction=1.0)"
             ) from None
         w_global = np.asarray(w_global, dtype=np.float64)
         if w_global.shape != self._w_view.shape:

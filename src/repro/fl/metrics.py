@@ -3,11 +3,20 @@
 All metrics weight devices by ``p_n = D_n / D`` so they evaluate the
 paper's global objective (2) and its gradient — including the
 stationarity gap ``||grad F_bar(w)||^2`` that Theorem 1 bounds.
+
+Each weighted metric accepts an optional precomputed ``weights`` vector
+(``p_n`` from :meth:`repro.fl.registry.ClientRegistry.weights`, or a
+renormalized :meth:`~repro.fl.registry.ClientRegistry.subset_weights`
+slice for sampled cohorts).  When ``weights`` is given, ``clients`` may
+be any single-pass iterable — the massive-cohort evaluation path streams
+lazily hydrated clients through without ever holding the population in
+memory.  Without ``weights`` the functions recompute ``p_n`` from the
+client objects exactly as before.
 """
 
 from __future__ import annotations
 
-from typing import Sequence, Tuple
+from typing import Iterable, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -23,11 +32,25 @@ def _weights(clients: Sequence[Client]) -> np.ndarray:
     return sizes / sizes.sum()
 
 
+def _resolve(
+    clients: Iterable[Client], weights: Optional[np.ndarray]
+) -> Tuple[Iterable[Client], np.ndarray]:
+    """Pair clients with their weights, materializing only if needed."""
+    if weights is not None:
+        return clients, np.asarray(weights, dtype=np.float64)
+    clients = list(clients)
+    return clients, _weights(clients)
+
+
 def global_loss(
-    model: Model, clients: Sequence[Client], w: np.ndarray
+    model: Model,
+    clients: Iterable[Client],
+    w: np.ndarray,
+    *,
+    weights: Optional[np.ndarray] = None,
 ) -> float:
     """``F_bar(w) = sum_n p_n F_n(w)`` on training shards (eq. (2))."""
-    p = _weights(clients)
+    clients, p = _resolve(clients, weights)
     losses = [
         model.loss(w, c.data.X_train, c.data.y_train) for c in clients
     ]
@@ -35,10 +58,14 @@ def global_loss(
 
 
 def global_loss_and_gradient_norm(
-    model: Model, clients: Sequence[Client], w: np.ndarray
+    model: Model,
+    clients: Iterable[Client],
+    w: np.ndarray,
+    *,
+    weights: Optional[np.ndarray] = None,
 ) -> Tuple[float, float]:
     """Loss (2) and ``||grad F_bar(w)||`` in a single pass."""
-    p = _weights(clients)
+    clients, p = _resolve(clients, weights)
     total_loss = 0.0
     total_grad = np.zeros(model.num_parameters, dtype=np.float64)
     for weight, c in zip(p, clients):
@@ -49,19 +76,24 @@ def global_loss_and_gradient_norm(
 
 
 def global_gradient_norm(
-    model: Model, clients: Sequence[Client], w: np.ndarray
+    model: Model,
+    clients: Iterable[Client],
+    w: np.ndarray,
+    *,
+    weights: Optional[np.ndarray] = None,
 ) -> float:
     """``||grad F_bar(w)||`` — the Theorem-1 stationarity measure."""
-    return global_loss_and_gradient_norm(model, clients, w)[1]
+    return global_loss_and_gradient_norm(model, clients, w, weights=weights)[1]
 
 
 def global_accuracy(
-    model: Model, clients: Sequence[Client], w: np.ndarray, *, split: str = "test"
+    model: Model, clients: Iterable[Client], w: np.ndarray, *, split: str = "test"
 ) -> float:
     """Sample-weighted accuracy over all devices' chosen shards.
 
     Devices with empty shards are skipped; weighting is by shard size so
     the value equals pooled accuracy over the concatenated data.
+    ``clients`` may be any single-pass iterable.
     """
     total_correct = 0.0
     total_samples = 0
@@ -83,7 +115,7 @@ def global_accuracy(
 
 
 def per_device_accuracy(
-    model: Model, clients: Sequence[Client], w: np.ndarray, *, split: str = "test"
+    model: Model, clients: Iterable[Client], w: np.ndarray, *, split: str = "test"
 ) -> "dict[int, float]":
     """Accuracy of the global model on each device's own shard.
 
@@ -101,7 +133,12 @@ def per_device_accuracy(
 
 
 def heterogeneity_sigma_bar_sq(
-    model: Model, clients: Sequence[Client], w: np.ndarray, *, floor: float = 1e-12
+    model: Model,
+    clients: Iterable[Client],
+    w: np.ndarray,
+    *,
+    weights: Optional[np.ndarray] = None,
+    floor: float = 1e-12,
 ) -> float:
     """Empirical ``sigma_bar^2`` of Assumption 1 at the point ``w``.
 
@@ -109,8 +146,13 @@ def heterogeneity_sigma_bar_sq(
     ``sigma_n = ||grad F_n(w) - grad F_bar(w)|| / ||grad F_bar(w)||``
     and returns the ``p_n``-weighted mean of ``sigma_n^2``.  ``floor``
     guards the denominator near stationary points.
+
+    Under partial participation pass the sampled cohort together with
+    ``registry.subset_weights(selected)`` — the renormalized exact
+    ``p_n`` keep the estimator consistent with the full-population
+    value.
     """
-    p = _weights(clients)
+    clients, p = _resolve(clients, weights)
     grads = [
         model.gradient(w, c.data.X_train, c.data.y_train) for c in clients
     ]

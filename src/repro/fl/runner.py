@@ -14,7 +14,7 @@ from typing import Callable, Dict, Optional, Tuple
 import numpy as np
 
 from repro.core.algorithms import make_local_solver
-from repro.datasets.base import FederatedDataset
+from repro.datasets.base import FederatedDataset, LazyFederatedDataset
 from repro.exceptions import ConfigurationError
 from repro.fl.client import Client
 from repro.fl.delays import DelayModel, make_uniform_delays
@@ -24,6 +24,7 @@ from repro.fl.executor import (
     SequentialExecutor,
     ThreadPoolClientExecutor,
 )
+from repro.fl.registry import EagerClientPool, LazyClientPool
 from repro.fl.server import FederatedServer
 from repro.fl.history import TrainingHistory
 from repro.models.base import Model
@@ -68,6 +69,15 @@ class FederatedRunConfig:
     ``smoothness`` overrides the automatic ``L`` estimate; leave as
     ``None`` to use the model's analytic value (convex models) or a
     Hessian power-iteration probe (neural models).
+
+    Massive-cohort knobs (ROADMAP item 1): ``virtual_clients`` turns on
+    the lazy O(K)-per-round path (``None`` auto-enables it for
+    :class:`~repro.datasets.base.LazyFederatedDataset` inputs);
+    ``lru_capacity`` bounds the hydrated-client pool (``None`` sizes it
+    automatically); ``max_eval_clients`` caps the metrics pass at a
+    weighted client sample; ``smoothness_probe_devices`` bounds how many
+    shards the lazy path concatenates to estimate ``L`` (federations at
+    or below the bound reproduce the eager estimate exactly).
     """
 
     algorithm: str = "fedproxvr-sarah"
@@ -84,6 +94,10 @@ class FederatedRunConfig:
     seed: int = 0
     solver_kwargs: Dict[str, object] = field(default_factory=dict)
     delay_model: Optional[DelayModel] = None
+    virtual_clients: Optional[bool] = None
+    lru_capacity: Optional[int] = None
+    max_eval_clients: Optional[int] = None
+    smoothness_probe_devices: int = 32
 
     def __post_init__(self) -> None:
         check_positive_int("num_rounds", self.num_rounds)
@@ -91,6 +105,13 @@ class FederatedRunConfig:
         check_positive("beta", self.beta)
         check_positive("mu", self.mu, strict=False)
         check_positive_int("batch_size", self.batch_size)
+        if self.lru_capacity is not None:
+            check_positive_int("lru_capacity", self.lru_capacity)
+        if self.max_eval_clients is not None:
+            check_positive_int("max_eval_clients", self.max_eval_clients)
+        check_positive_int(
+            "smoothness_probe_devices", self.smoothness_probe_devices
+        )
         if self.executor not in EXECUTOR_CHOICES:
             raise ConfigurationError(
                 f"executor must be one of {EXECUTOR_CHOICES}, "
@@ -104,11 +125,22 @@ def resolve_smoothness(
     *,
     override: Optional[float] = None,
     seed: SeedLike = 0,
+    probe_devices: Optional[int] = None,
 ) -> float:
-    """Pick ``L``: explicit override > analytic formula > power iteration."""
+    """Pick ``L``: explicit override > analytic formula > power iteration.
+
+    ``probe_devices`` bounds the estimate to the first that-many shards
+    — the lazy massive-cohort path's way of keeping setup sublinear in
+    ``N``.  When the bound covers the whole federation (always true for
+    eager callers that leave it ``None``) the estimate equals the
+    historical full-corpus value bit-for-bit.
+    """
     if override is not None:
         return check_positive("smoothness", override)
-    X, y = dataset.global_train()
+    if probe_devices is not None and hasattr(dataset, "probe_train"):
+        X, y = dataset.probe_train(probe_devices)
+    else:
+        X, y = dataset.global_train()
     analytic = model.smoothness(X)
     if analytic is not None and analytic > 0:
         return float(analytic)
@@ -129,7 +161,7 @@ def build_clients(
     share_model: bool,
     seed: int,
 ) -> list:
-    """Instantiate one client per device shard."""
+    """Instantiate one client per device shard (the eager O(N) path)."""
     shared = model_factory() if share_model else None
     clients = []
     for dev in dataset.devices:
@@ -144,6 +176,66 @@ def build_clients(
             )
         )
     return clients
+
+
+def default_lru_capacity(
+    num_devices: int, client_fraction: float, override: Optional[int] = None
+) -> int:
+    """Hydrated-client pool size: the override, else an automatic choice.
+
+    Full participation needs the whole population resident anyway; under
+    sampling the pool holds a few rounds' worth of cohorts (hot clients
+    re-selected soon stay hydrated) with a floor of 64.
+    """
+    if override is not None:
+        return min(int(override), num_devices)
+    if client_fraction >= 1.0:
+        return num_devices
+    k = max(1, int(round(client_fraction * num_devices)))
+    return min(num_devices, max(64, 4 * k))
+
+
+def build_client_pool(
+    dataset,
+    model_factory: Callable[[], Model],
+    solver,
+    *,
+    share_model: bool,
+    seed: int,
+    virtual: bool,
+    client_fraction: float = 1.0,
+    lru_capacity: Optional[int] = None,
+):
+    """Build the server's client source.
+
+    ``virtual=False``: the classic eager path — ``N`` clients up front,
+    wrapped in an :class:`~repro.fl.registry.EagerClientPool`.
+    ``virtual=True``: an :class:`~repro.fl.registry.LazyClientPool` that
+    registers only packed metadata and hydrates per-round cohorts on
+    demand; works with lazy *and* eager datasets (for the latter the
+    shards are already resident but the O(N) client/model objects are
+    still avoided).
+    """
+    if not virtual:
+        return EagerClientPool(
+            build_clients(
+                dataset,
+                model_factory,
+                solver,
+                share_model=share_model,
+                seed=seed,
+            )
+        )
+    return LazyClientPool(
+        dataset,
+        model_factory,
+        solver,
+        share_model=share_model,
+        base_seed=seed,
+        capacity=default_lru_capacity(
+            dataset.num_devices, client_fraction, lru_capacity
+        ),
+    )
 
 
 def run_federated(
@@ -176,10 +268,29 @@ def run_federated(
     """
     init_seed, server_seed = (s.entropy for s in spawn_seeds(config.seed, 2))
 
+    virtual = config.virtual_clients
+    if virtual is None:
+        virtual = isinstance(dataset, LazyFederatedDataset)
+    if (
+        virtual
+        and config.executor == "process"
+        and config.client_fraction < 1.0
+    ):
+        raise ConfigurationError(
+            "the process executor maps shards into shared memory at pool "
+            "start-up, so it needs a stable cohort: virtual clients with "
+            "client_fraction < 1.0 would present a different cohort each "
+            "round (use sequential/thread/batched, or full participation)"
+        )
+
     probe_model = model_factory()
     with telemetry.span("estimate_smoothness", dataset=dataset.name):
         L = resolve_smoothness(
-            probe_model, dataset, override=config.smoothness, seed=config.seed
+            probe_model,
+            dataset,
+            override=config.smoothness,
+            seed=config.seed,
+            probe_devices=config.smoothness_probe_devices if virtual else None,
         )
     eta = 1.0 / (config.beta * L)
     telemetry.gauge_set("fl.run.smoothness_L", L)
@@ -197,12 +308,15 @@ def run_federated(
     # Concurrent executors need per-client model instances (transient
     # layer caches are per-call state); sequential and batched share one.
     share_model = config.executor in ("sequential", "batched")
-    clients = build_clients(
+    pool = build_client_pool(
         dataset,
         model_factory,
         solver,
         share_model=share_model,
         seed=config.seed,
+        virtual=virtual,
+        client_fraction=config.client_fraction,
+        lru_capacity=config.lru_capacity,
     )
     executor = make_executor(config.executor, config.max_workers)
 
@@ -211,12 +325,13 @@ def run_federated(
         delay_model = make_uniform_delays(dataset.num_devices)
 
     server = FederatedServer(
-        clients,
+        pool,
         eval_model=probe_model,
         executor=executor,
         delay_model=delay_model,
         client_fraction=config.client_fraction,
         seed=server_seed,
+        eval_client_cap=config.max_eval_clients,
     )
     if w0 is None:
         w0 = probe_model.init_parameters(init_seed)

@@ -1,18 +1,27 @@
 """The federated server: Alg. 1's outer loop.
 
-Per global iteration ``s``: broadcast ``w_bar^{(s-1)}``, run every
-client's local solver through the executor, aggregate the returned local
-models with the data-size weights (line 12), then record metrics and
-simulated time.  Optional client sampling (``client_fraction < 1``)
-extends the paper's full-participation protocol to the partial
-participation regime of FedAvg.
+Per global iteration ``s``: broadcast ``w_bar^{(s-1)}``, run the round's
+cohort through the executor, aggregate the returned local models with
+the data-size weights (line 12), then record metrics and simulated
+time.  Optional client sampling (``client_fraction < 1``) extends the
+paper's full-participation protocol to the partial participation regime
+of FedAvg.
+
+The server schedules against a :class:`~repro.fl.registry.ClientRegistry`
+— packed population metadata — and materializes clients through a pool:
+:class:`~repro.fl.registry.EagerClientPool` when constructed from a
+client list (the classic path, bit-identical to previous behavior), or
+:class:`~repro.fl.registry.LazyClientPool` for massive registered
+populations where only the ``K`` selected clients per round are ever
+hydrated.  Aggregation weights and every population-weighted metric
+come from registry metadata, so cost per round is O(K), not O(N).
 """
 
 from __future__ import annotations
 
 import statistics
 import time
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -23,19 +32,26 @@ from repro.fl.delays import DelayModel
 from repro.fl.executor import ClientExecutor, SequentialExecutor
 from repro.fl.history import RoundRecord, TrainingHistory
 from repro.fl.metrics import global_accuracy, global_loss_and_gradient_norm
+from repro.fl.registry import ClientRegistry, EagerClientPool, LazyClientPool
 from repro.models.base import Model
 from repro.obs import telemetry
-from repro.utils.rng import SeedLike, as_generator
+from repro.utils.rng import SeedLike, as_generator, derive_generator
 from repro.utils.timing import SimulatedClock
 from repro.utils.validation import check_in_range, check_positive_int
 
+#: spawn-key tag separating the eval-cohort sampler from the
+#: round-selection stream (any fixed int distinct from client ids works)
+_EVAL_STREAM = 0x0E7A1
+
+ClientSource = Union[Sequence[Client], EagerClientPool, LazyClientPool]
+
 
 class FederatedServer:
-    """Orchestrates global iterations over a fixed client population."""
+    """Orchestrates global iterations over a registered client population."""
 
     def __init__(
         self,
-        clients: Sequence[Client],
+        clients: ClientSource,
         eval_model: Model,
         *,
         executor: Optional[ClientExecutor] = None,
@@ -43,34 +59,93 @@ class FederatedServer:
         aggregator: Callable[..., np.ndarray] = weighted_average,
         client_fraction: float = 1.0,
         seed: SeedLike = 0,
+        eval_client_cap: Optional[int] = None,
     ) -> None:
-        if not clients:
-            raise ConfigurationError("server needs >= 1 client")
-        self.clients: List[Client] = list(clients)
+        if isinstance(clients, (EagerClientPool, LazyClientPool)):
+            self._pool = clients
+        else:
+            if not clients:
+                raise ConfigurationError("server needs >= 1 client")
+            self._pool = EagerClientPool(list(clients))
+        self.registry: ClientRegistry = self._pool.registry
         self.eval_model = eval_model
         self.executor = executor or SequentialExecutor()
-        self.executor.register_clients(self.clients)
+        population = self._pool.population
+        if population is not None:
+            self.executor.register_clients(population)
         self.delay_model = delay_model
         self.aggregator = aggregator
         self.client_fraction = check_in_range(
             "client_fraction", client_fraction, 0.0, 1.0, inclusive="right"
         )
+        if eval_client_cap is not None:
+            check_positive_int("eval_client_cap", eval_client_cap)
+            if isinstance(seed, np.random.Generator):
+                raise ConfigurationError(
+                    "eval_client_cap needs a stable seed (int/SeedSequence) "
+                    "for its dedicated sampling stream"
+                )
+        self.eval_client_cap = eval_client_cap
+        self._seed = seed
         self._rng = as_generator(seed)
         self.clock = SimulatedClock()
-        sizes = np.array([c.num_train for c in self.clients], dtype=np.float64)
-        self._weights = sizes / sizes.sum()
+        # Satellite of ISSUE 7: weights come from packed registry
+        # metadata — the last O(N) walk over client objects is gone.
+        self._weights = self.registry.weights()
+        telemetry.gauge_set("fl.registry.size", float(self.registry.size))
+
+    @property
+    def clients(self) -> List[Client]:
+        """The materialized population.
+
+        Cheap for eager pools (the original list); an explicit O(N)
+        hydration sweep for lazy pools — diagnostics only, the training
+        path never calls this.
+        """
+        population = self._pool.population
+        if population is not None:
+            return population
+        return list(self._pool.iter_clients(range(self.registry.size)))
 
     def _select_round_clients(self) -> List[int]:
-        n = len(self.clients)
+        n = self.registry.size
         if self.client_fraction >= 1.0:
             return list(range(n))
         k = max(1, int(round(self.client_fraction * n)))
         return sorted(self._rng.choice(n, size=k, replace=False).tolist())
 
+    def _eval_cohort(self) -> Tuple[Iterable[Client], np.ndarray]:
+        """Clients + weights for a metrics pass.
+
+        Default: the full population streamed through the pool with the
+        exact registry weights (bit-identical to the historical walk).
+        With ``eval_client_cap < N``: a weighted sample drawn from a
+        dedicated RNG stream (independent of the round-selection
+        stream), with the sampled clients' exact weights renormalized —
+        the sampling-consistent estimator of the population metrics.
+        """
+        n = self.registry.size
+        cap = self.eval_client_cap
+        if cap is None or cap >= n:
+            indices: Sequence[int] = range(n)
+            weights = self._weights
+        else:
+            entropy = (
+                self._seed.entropy
+                if isinstance(self._seed, np.random.SeedSequence)
+                else self._seed
+            )
+            rng = derive_generator(entropy, _EVAL_STREAM)
+            indices = np.sort(
+                rng.choice(n, size=cap, replace=False, p=self._weights)
+            ).tolist()
+            weights = self.registry.subset_weights(indices)
+        return self._pool.iter_clients(indices), weights
+
     def run_round(self, w_global: np.ndarray, round_index: int) -> dict:
         """One global iteration; returns aggregation + diagnostics."""
         selected = self._select_round_clients()
-        participants = [self.clients[i] for i in selected]
+        participants = self._pool.hydrate(selected)
         results = self.executor.run_round(participants, w_global, round_index)
 
         weights = self._weights[selected]
@@ -78,15 +153,17 @@ class FederatedServer:
 
         delays: List[float] = []
         if self.delay_model is not None:
-            if len(self.delay_model) != len(self.clients):
+            if len(self.delay_model) != self.registry.size:
                 raise ConfigurationError(
                     f"delay model covers {len(self.delay_model)} devices, "
-                    f"federation has {len(self.clients)}"
+                    f"federation has {self.registry.size}"
                 )
             # Charge only the participating devices; the synchronous
             # round costs the slowest of them (SimulatedClock takes max).
+            # Index-addressable draws: the other N - K devices' delay
+            # entries are never touched, let alone materialized.
             delays = [
-                self.delay_model.delays[i].round_delay(r.num_gradient_evaluations)
+                self.delay_model.round_delay_at(i, r.num_gradient_evaluations)
                 for i, r in zip(selected, results)
             ]
         self.clock.advance_round(delays if delays else [0.0])
@@ -139,7 +216,7 @@ class FederatedServer:
         check_positive_int("num_rounds", num_rounds)
         check_positive_int("eval_every", eval_every)
         history = TrainingHistory(
-            algorithm=algorithm_name or self.clients[0].solver.name,
+            algorithm=algorithm_name or self._pool.solver.name,
             dataset=dataset_name,
             config=dict(config or {}),
         )
@@ -152,10 +229,15 @@ class FederatedServer:
                 w = outcome["w"]
                 if s % eval_every == 0 or s == num_rounds:
                     with telemetry.span("eval", s=s):
+                        eval_clients, eval_weights = self._eval_cohort()
                         loss, grad_norm = global_loss_and_gradient_norm(
-                            self.eval_model, self.clients, w
+                            self.eval_model,
+                            eval_clients,
+                            w,
+                            weights=eval_weights,
                         )
-                        acc = global_accuracy(self.eval_model, self.clients, w)
+                        eval_clients, _ = self._eval_cohort()
+                        acc = global_accuracy(self.eval_model, eval_clients, w)
                     history.append(
                         RoundRecord(
                             round_index=s,

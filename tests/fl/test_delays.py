@@ -87,3 +87,82 @@ class TestFactories:
             make_uniform_delays(0)
         with pytest.raises(ConfigurationError):
             make_heterogeneous_delays(0)
+
+
+class TestIndexAddressing:
+    """The massive-cohort hot path: draw only selected devices' delays."""
+
+    def test_delay_at_matches_list(self):
+        model = DelayModel([DeviceDelay(1.0, 0.5), DeviceDelay(2.0, 3.0)])
+        assert model.delay_at(1) == model.delays[1]
+
+    def test_round_delay_at_matches_round_delays(self):
+        model = make_heterogeneous_delays(6, seed=4)
+        counts = [3, 1, 4, 1, 5, 9]
+        full = model.round_delays(counts)
+        picked = [model.round_delay_at(i, c) for i, c in enumerate(counts)]
+        assert picked == full
+
+    def test_out_of_range_rejected(self):
+        model = make_uniform_delays(3)
+        with pytest.raises(ConfigurationError):
+            model.delay_at(3)
+        with pytest.raises(ConfigurationError):
+            model.round_delay_at(-1, 5)
+
+    def test_negative_eval_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_uniform_delays(2).round_delay_at(0, -1)
+
+
+class TestPackedDelayModel:
+    def test_scalar_storage_is_population_free(self):
+        from repro.fl.delays import PackedDelayModel
+
+        model = make_uniform_delays(1_000_000, d_cmp=0.25, d_com=2.0)
+        assert isinstance(model, PackedDelayModel)
+        assert len(model) == 1_000_000
+        assert model.round_delay_at(999_999, 4) == pytest.approx(3.0)
+        assert model.delay_at(0) == DeviceDelay(0.25, 2.0)
+
+    def test_vector_form(self):
+        from repro.fl.delays import PackedDelayModel
+
+        model = PackedDelayModel(
+            np.array([0.1, 0.2]), np.array([1.0, 2.0])
+        )
+        assert len(model) == 2
+        assert model.delay_at(1) == DeviceDelay(0.2, 2.0)
+        assert model.mean_gamma() == pytest.approx(0.1)
+
+    def test_scalar_vector_mix_broadcasts(self):
+        from repro.fl.delays import PackedDelayModel
+
+        model = PackedDelayModel(0.5, np.array([1.0, 0.0, 2.0]))
+        assert len(model) == 3
+        assert model.delay_at(1).gamma == float("inf")
+        assert model.mean_gamma() == float("inf")
+
+    def test_inconsistent_lengths_rejected(self):
+        from repro.fl.delays import PackedDelayModel
+
+        with pytest.raises(ConfigurationError):
+            PackedDelayModel(np.zeros(2), np.zeros(3))
+        with pytest.raises(ConfigurationError):
+            PackedDelayModel(np.zeros(2), np.zeros(2), num_devices=4)
+
+    def test_scalars_need_explicit_count(self):
+        from repro.fl.delays import PackedDelayModel
+
+        with pytest.raises(ConfigurationError):
+            PackedDelayModel(0.1, 1.0)
+
+    def test_negative_entries_rejected(self):
+        from repro.fl.delays import PackedDelayModel
+
+        with pytest.raises(ConfigurationError):
+            PackedDelayModel(np.array([-0.1, 0.2]), 1.0)
+
+    def test_materialized_list_matches(self):
+        model = make_heterogeneous_delays(4, seed=9)
+        assert [model.delay_at(i) for i in range(4)] == model.delays

@@ -1,0 +1,413 @@
+"""Tests for the massive-cohort virtual-client path (ROADMAP item 1).
+
+The contract under test has two halves:
+
+* **bit-identity** — at ``client_fraction = 1.0`` a lazy run (packed
+  registry, LRU-hydrated clients, regenerated shards) produces the same
+  bits as the classic eager run, on every executor; and
+* **O(K) residency** — under sampling only the selected cohort is ever
+  hydrated, Theorem-1 quantities come from registry metadata, and the
+  pool's LRU bounds live client objects.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.local import FedProxVRLocalSolver
+from repro.datasets import make_synthetic
+from repro.datasets.base import LazyFederatedDataset
+from repro.exceptions import ConfigurationError
+from repro.fl.registry import (
+    ClientRegistry,
+    EagerClientPool,
+    LazyClientPool,
+    VirtualClient,
+)
+from repro.fl.runner import (
+    FederatedRunConfig,
+    build_client_pool,
+    default_lru_capacity,
+    run_federated,
+)
+from repro.models import MultinomialLogisticModel
+
+EXECUTORS = ("sequential", "batched", "thread", "process")
+
+
+@pytest.fixture(scope="module")
+def eager_dataset():
+    return make_synthetic(
+        alpha=1.0,
+        beta=1.0,
+        num_devices=8,
+        num_features=10,
+        num_classes=5,
+        min_size=25,
+        max_size=90,
+        seed=11,
+    )
+
+
+@pytest.fixture(scope="module")
+def lazy_dataset():
+    return make_synthetic(
+        alpha=1.0,
+        beta=1.0,
+        num_devices=8,
+        num_features=10,
+        num_classes=5,
+        min_size=25,
+        max_size=90,
+        seed=11,
+        lazy=True,
+    )
+
+
+def _factory(dataset):
+    return lambda: MultinomialLogisticModel(
+        dataset.num_features, dataset.num_classes, l2=1e-4
+    )
+
+
+def _solver():
+    return FedProxVRLocalSolver(
+        step_size=0.05, num_steps=3, batch_size=16, mu=0.1
+    )
+
+
+class TestLazyDatasetIdentity:
+    def test_lazy_devices_match_eager(self, eager_dataset, lazy_dataset):
+        assert isinstance(lazy_dataset, LazyFederatedDataset)
+        for k in range(eager_dataset.num_devices):
+            eager_dev = eager_dataset.devices[k]
+            lazy_dev = lazy_dataset.device(k)
+            np.testing.assert_array_equal(eager_dev.X_train, lazy_dev.X_train)
+            np.testing.assert_array_equal(eager_dev.y_train, lazy_dev.y_train)
+            np.testing.assert_array_equal(eager_dev.X_test, lazy_dev.X_test)
+            np.testing.assert_array_equal(eager_dev.y_test, lazy_dev.y_test)
+
+    def test_rehydration_is_deterministic(self, lazy_dataset):
+        first = lazy_dataset.device(3)
+        again = lazy_dataset.device(3)
+        np.testing.assert_array_equal(first.X_train, again.X_train)
+        np.testing.assert_array_equal(first.y_train, again.y_train)
+
+    def test_probe_covers_federation_when_bound_large(
+        self, eager_dataset, lazy_dataset
+    ):
+        X_full, y_full = eager_dataset.global_train()
+        X_probe, y_probe = lazy_dataset.probe_train(32)
+        np.testing.assert_array_equal(X_full, X_probe)
+        np.testing.assert_array_equal(y_full, y_probe)
+
+    def test_probe_bounded(self, lazy_dataset):
+        X, _ = lazy_dataset.probe_train(2)
+        expected = int(lazy_dataset.train_sizes[:2].sum())
+        assert X.shape[0] == expected
+
+    def test_train_sizes_match_devices(self, eager_dataset, lazy_dataset):
+        np.testing.assert_array_equal(
+            lazy_dataset.train_sizes,
+            [d.num_train for d in eager_dataset.devices],
+        )
+
+    def test_generator_seed_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_synthetic(
+                alpha=1.0,
+                beta=1.0,
+                num_devices=4,
+                seed=np.random.default_rng(0),
+                lazy=True,
+            )
+
+
+class TestRegistry:
+    def test_weights_from_metadata_match_eager(self, eager_dataset):
+        registry = ClientRegistry.from_dataset(eager_dataset)
+        sizes = np.array(
+            [d.num_train for d in eager_dataset.devices], dtype=np.float64
+        )
+        np.testing.assert_array_equal(registry.weights(), sizes / sizes.sum())
+        assert registry.weights().sum() == pytest.approx(1.0)
+
+    def test_subset_weights_renormalized(self, eager_dataset):
+        registry = ClientRegistry.from_dataset(eager_dataset)
+        sub = registry.subset_weights([0, 3, 5])
+        full = registry.weights()[[0, 3, 5]]
+        np.testing.assert_allclose(sub, full / full.sum())
+        assert sub.sum() == pytest.approx(1.0)
+
+    def test_total_train(self, eager_dataset):
+        registry = ClientRegistry.from_dataset(eager_dataset)
+        assert registry.total_train == sum(
+            d.num_train for d in eager_dataset.devices
+        )
+
+    def test_virtual_out_of_range(self, eager_dataset):
+        registry = ClientRegistry.from_dataset(eager_dataset)
+        with pytest.raises(ConfigurationError):
+            registry.virtual(registry.size)
+
+    def test_hydrate_validates_shard_size(self, eager_dataset):
+        vc = VirtualClient(client_id=0, num_train=999)
+        with pytest.raises(ConfigurationError):
+            vc.hydrate(
+                eager_dataset.devices[0],
+                MultinomialLogisticModel(10, 5),
+                _solver(),
+            )
+
+    def test_registry_is_metadata_only(self, lazy_dataset):
+        # Building the registry must not materialize any shard.
+        registry = ClientRegistry.from_dataset(lazy_dataset)
+        assert registry.size == 8
+        assert registry.client_ids.dtype == np.int64
+        assert registry.num_train.dtype == np.int64
+
+
+class TestLazyClientPool:
+    def _pool(self, dataset, capacity=None):
+        return LazyClientPool(
+            dataset,
+            _factory(dataset),
+            _solver(),
+            share_model=True,
+            base_seed=7,
+            capacity=capacity,
+        )
+
+    def test_lru_hit_and_eviction(self, lazy_dataset):
+        pool = self._pool(lazy_dataset, capacity=2)
+        pool.hydrate([0, 1])
+        assert (pool.hydration_count, pool.hit_count) == (2, 0)
+        pool.hydrate([0])  # hot -> hit
+        assert pool.hit_count == 1
+        pool.hydrate([2])  # evicts 1 (LRU order: 1, 0, 2 -> drop 1)
+        assert pool.eviction_count == 1
+        pool.hydrate([0])  # still resident
+        assert pool.hit_count == 2
+        pool.hydrate([1])  # was evicted -> re-hydrates
+        assert pool.hydration_count == 4
+
+    def test_hydrated_client_matches_eager(self, eager_dataset, lazy_dataset):
+        pool = self._pool(lazy_dataset)
+        client = pool.client(4)
+        assert client.client_id == 4
+        np.testing.assert_array_equal(
+            client.data.X_train, eager_dataset.devices[4].X_train
+        )
+
+    def test_shared_model_is_one_instance(self, lazy_dataset):
+        pool = self._pool(lazy_dataset)
+        a, b = pool.hydrate([0, 1])
+        assert a.model is b.model
+
+    def test_private_models_when_not_shared(self, lazy_dataset):
+        pool = LazyClientPool(
+            lazy_dataset,
+            _factory(lazy_dataset),
+            _solver(),
+            share_model=False,
+            capacity=8,
+        )
+        a, b = pool.hydrate([0, 1])
+        assert a.model is not b.model
+
+    def test_iter_clients_does_not_pollute_lru(self, lazy_dataset):
+        pool = self._pool(lazy_dataset, capacity=2)
+        pool.hydrate([0, 1])
+        list(pool.iter_clients(range(8)))  # eval-style full sweep
+        assert pool.eviction_count == 0
+        assert pool.hit_count == 2  # 0 and 1 were served from the pool
+        pool.hydrate([0, 1])  # still resident after the sweep
+        assert pool.hydration_count == 2 + 6  # sweep built 6 transients
+
+    def test_population_is_none(self, lazy_dataset):
+        assert self._pool(lazy_dataset).population is None
+
+    def test_default_capacity(self):
+        assert default_lru_capacity(1000, 1.0) == 1000
+        assert default_lru_capacity(1000, 0.004) == 64  # floor
+        assert default_lru_capacity(1000, 0.1) == 400  # 4 rounds' cohorts
+        assert default_lru_capacity(1000, 0.5, override=10) == 10
+        assert default_lru_capacity(10, 0.5, override=100) == 10
+
+
+class TestBitIdentity:
+    """client_fraction = 1.0: lazy and eager runs share every bit."""
+
+    @pytest.mark.parametrize("executor", EXECUTORS)
+    def test_lazy_matches_eager(self, eager_dataset, lazy_dataset, executor):
+        kwargs = dict(
+            algorithm="fedproxvr-svrg",
+            num_rounds=3,
+            num_local_steps=3,
+            batch_size=16,
+            mu=0.1,
+            seed=5,
+            executor=executor,
+        )
+        eager_history, eager_w = run_federated(
+            eager_dataset,
+            _factory(eager_dataset),
+            FederatedRunConfig(virtual_clients=False, **kwargs),
+        )
+        lazy_history, lazy_w = run_federated(
+            lazy_dataset,
+            _factory(lazy_dataset),
+            FederatedRunConfig(virtual_clients=True, **kwargs),
+        )
+        np.testing.assert_array_equal(eager_w, lazy_w)
+        for er, lr in zip(eager_history.records, lazy_history.records):
+            assert er.train_loss == lr.train_loss
+            assert er.grad_norm == lr.grad_norm
+            assert er.test_accuracy == lr.test_accuracy
+
+    def test_virtual_on_eager_dataset(self, eager_dataset):
+        """The lazy pool also wraps eager datasets bit-identically."""
+        kwargs = dict(
+            algorithm="fedavg",
+            num_rounds=2,
+            num_local_steps=3,
+            batch_size=16,
+            mu=0.0,
+            seed=5,
+        )
+        _, w_eager = run_federated(
+            eager_dataset,
+            _factory(eager_dataset),
+            FederatedRunConfig(virtual_clients=False, **kwargs),
+        )
+        _, w_virtual = run_federated(
+            eager_dataset,
+            _factory(eager_dataset),
+            FederatedRunConfig(virtual_clients=True, **kwargs),
+        )
+        np.testing.assert_array_equal(w_eager, w_virtual)
+
+
+class TestSampledCohorts:
+    def test_full_vs_sampled_convergence(self, lazy_dataset):
+        """Sampling K < N still optimizes the same objective."""
+        base = dict(
+            algorithm="fedproxvr-svrg",
+            num_rounds=8,
+            num_local_steps=5,
+            batch_size=16,
+            mu=0.1,
+            seed=5,
+        )
+        full_history, _ = run_federated(
+            lazy_dataset, _factory(lazy_dataset), FederatedRunConfig(**base)
+        )
+        sampled_history, _ = run_federated(
+            lazy_dataset,
+            _factory(lazy_dataset),
+            FederatedRunConfig(client_fraction=0.5, **base),
+        )
+        full = [r.train_loss for r in full_history.records]
+        sampled = [r.train_loss for r in sampled_history.records]
+        # Both descend from the same start; the sampled trajectory is
+        # noisier but must land in the same regime, not diverge.
+        assert sampled[-1] < sampled[0]
+        assert full[-1] < full[0]
+        assert sampled[-1] < 0.5 * (sampled[0] + full[0])
+        assert sampled_history.num_rounds == full_history.num_rounds
+
+    def test_sampled_run_hydrates_only_cohorts(self, lazy_dataset):
+        pool = build_client_pool(
+            lazy_dataset,
+            _factory(lazy_dataset),
+            _solver(),
+            share_model=True,
+            seed=5,
+            virtual=True,
+            client_fraction=0.25,
+        )
+        # capacity floor (64) exceeds N=8 here, so nothing ever evicts;
+        # what matters is that hydrate() touches only the asked-for ids.
+        pool.hydrate([1, 6])
+        assert pool.hydration_count == 2
+
+    def test_eval_cap_deterministic(self, lazy_dataset):
+        config = FederatedRunConfig(
+            algorithm="fedproxvr-svrg",
+            num_rounds=3,
+            num_local_steps=3,
+            batch_size=16,
+            mu=0.1,
+            seed=5,
+            client_fraction=0.5,
+            max_eval_clients=4,
+        )
+        h1, w1 = run_federated(
+            lazy_dataset, _factory(lazy_dataset), config
+        )
+        h2, w2 = run_federated(
+            lazy_dataset, _factory(lazy_dataset), config
+        )
+        np.testing.assert_array_equal(w1, w2)
+        assert [r.train_loss for r in h1.records] == [
+            r.train_loss for r in h2.records
+        ]
+
+    def test_process_executor_rejects_partial_virtual(self, lazy_dataset):
+        config = FederatedRunConfig(
+            executor="process", client_fraction=0.5, num_rounds=1
+        )
+        with pytest.raises(ConfigurationError):
+            run_federated(lazy_dataset, _factory(lazy_dataset), config)
+
+
+class TestTelemetry:
+    def test_registry_and_cohort_metrics_emitted(self, lazy_dataset):
+        from repro.obs import InMemorySink, telemetry
+
+        sink = InMemorySink()
+        telemetry.configure([sink])
+        try:
+            run_federated(
+                lazy_dataset,
+                _factory(lazy_dataset),
+                FederatedRunConfig(
+                    algorithm="fedavg",
+                    num_rounds=2,
+                    num_local_steps=2,
+                    batch_size=16,
+                    mu=0.0,
+                    seed=5,
+                    client_fraction=0.5,
+                ),
+            )
+        finally:
+            telemetry.shutdown()
+        summary = [e for e in sink.events if e["type"] == "run_summary"]
+        assert len(summary) == 1
+        metrics = summary[0]["metrics"]
+        assert metrics["fl.registry.size"]["last"] == 8.0
+        assert metrics["fl.cohort.hydrations"]["total"] > 0
+        # Round 2 reuses round 1's pooled clients (and the eval sweep
+        # re-serves them), so hits must be recorded too.
+        assert metrics["fl.cohort.lru_hits"]["total"] > 0
+
+
+class TestEagerPool:
+    def test_wraps_list_and_exposes_registry(self, eager_dataset):
+        from repro.fl.runner import build_clients
+
+        clients = build_clients(
+            eager_dataset,
+            _factory(eager_dataset),
+            _solver(),
+            share_model=True,
+            seed=5,
+        )
+        pool = EagerClientPool(clients)
+        assert pool.population is clients or pool.population == clients
+        assert pool.registry.size == len(clients)
+        assert pool.hydrate([2, 0]) == [clients[2], clients[0]]
+        np.testing.assert_array_equal(
+            pool.registry.num_train,
+            [c.num_train for c in clients],
+        )

@@ -14,12 +14,36 @@ import json
 
 import pytest
 
-from tools.perfgate import SCHEMA, check, load_report
+from tools.perfgate import SCHEMA, check, check_scaling, load_report
 from tools.perfgate import main as perfgate_main
 
 
 def make_report(results):
     return {"schema": SCHEMA, "workload": {}, "results": results}
+
+
+def scaling_cell(n, setup=0.02, mem=6.0, per_round=0.05):
+    return {
+        "registered_clients": n,
+        "participants": 8,
+        "rounds": 2,
+        "setup_seconds": setup,
+        "per_round_seconds": per_round,
+        "peak_mem_mb": mem,
+        "hydrations": 16,
+        "lru_hits": 0,
+    }
+
+
+def make_scaling_report(cells, results=None):
+    payload = {
+        "schema": SCHEMA,
+        "workload": {},
+        "client_scaling": {"participants": 8, "rounds": 2, "cells": cells},
+    }
+    if results is not None:
+        payload["results"] = results
+    return payload
 
 
 def cell(speedup, identical=True):
@@ -75,6 +99,97 @@ class TestGateLogic:
         assert passed
 
 
+class TestScalingGate:
+    def test_flat_trajectory_passes(self):
+        report = make_scaling_report(
+            [scaling_cell(100), scaling_cell(100_000, setup=0.03, mem=6.4)]
+        )
+        passed, lines = check_scaling(report, tolerance=2.0)
+        assert passed, lines
+
+    def test_linear_memory_fails(self):
+        # O(N) residency: memory grows 100x with the population.
+        report = make_scaling_report(
+            [scaling_cell(100, mem=20.0), scaling_cell(10_000, mem=2000.0)]
+        )
+        passed, lines = check_scaling(report, tolerance=2.0)
+        assert not passed
+        assert any("peak_mem_mb" in line and "FAIL" in line for line in lines)
+
+    def test_linear_setup_fails(self):
+        report = make_scaling_report(
+            [scaling_cell(100, setup=0.2), scaling_cell(10_000, setup=20.0)]
+        )
+        passed, lines = check_scaling(report, tolerance=2.0)
+        assert not passed
+
+    def test_noise_floor_absorbs_tiny_differences(self):
+        # 0.001s -> 0.004s is a 4x ratio but far below timer resolution.
+        report = make_scaling_report(
+            [scaling_cell(100, setup=0.001), scaling_cell(10_000, setup=0.004)]
+        )
+        passed, lines = check_scaling(report, tolerance=2.0)
+        assert passed, lines
+
+    def test_budgets_bound_the_max_cell(self):
+        report = make_scaling_report(
+            [scaling_cell(100), scaling_cell(10_000, mem=100.0)]
+        )
+        passed, _ = check_scaling(report, tolerance=100.0, mem_budget_mb=50.0)
+        assert not passed
+        passed, _ = check_scaling(report, tolerance=100.0, mem_budget_mb=200.0)
+        assert passed
+
+    def test_missing_cells_fail(self):
+        passed, lines = check_scaling({"schema": SCHEMA}, tolerance=2.0)
+        assert not passed and any("no client_scaling" in line for line in lines)
+
+    def test_cells_sorted_by_population(self):
+        # Cells given large-first must still compare max-N against min-N.
+        report = make_scaling_report(
+            [scaling_cell(10_000, mem=600.0), scaling_cell(100, mem=6.0)]
+        )
+        passed, _ = check_scaling(report, tolerance=2.0)
+        assert not passed
+
+    def test_scaling_only_artifact_loads(self, tmp_path):
+        path = write(
+            tmp_path / "scaling.json",
+            make_scaling_report([scaling_cell(100), scaling_cell(10_000)]),
+        )
+        payload = load_report(path)
+        assert "client_scaling" in payload
+        assert perfgate_main([path]) == 0
+
+    def test_cli_gates_scaling_section(self, tmp_path):
+        bad = write(
+            tmp_path / "bad.json",
+            make_scaling_report(
+                [scaling_cell(100, mem=20.0), scaling_cell(10_000, mem=900.0)]
+            ),
+        )
+        assert perfgate_main([bad]) == 1
+
+    def test_macro_and_scaling_both_gate(self, tmp_path):
+        baseline = write(tmp_path / "base.json", make_report({"a": cell(1.5)}))
+        combined = write(
+            tmp_path / "combined.json",
+            make_scaling_report(
+                [scaling_cell(100), scaling_cell(10_000)],
+                results={"a": cell(1.4)},
+            ),
+        )
+        assert perfgate_main([combined, "--baseline", baseline]) == 0
+        regressed = write(
+            tmp_path / "regressed.json",
+            make_scaling_report(
+                [scaling_cell(100), scaling_cell(10_000)],
+                results={"a": cell(0.2)},
+            ),
+        )
+        assert perfgate_main([regressed, "--baseline", baseline]) == 1
+
+
 class TestCli:
     def test_gate_pass_and_fail_exit_codes(self, tmp_path):
         baseline = write(tmp_path / "base.json", make_report({"a": cell(1.5)}))
@@ -124,3 +239,31 @@ class TestMacroBenchSmoke:
         assert payload["min_speedup"] <= payload["geomean_speedup"]
         # ... and the smoke artifact gates cleanly against itself.
         assert perfgate_main([str(out), "--baseline", str(out)]) == 0
+
+    def test_client_scaling_smoke(self, tmp_path):
+        from tools.perfbench import main as perfbench_main
+
+        out = tmp_path / "scaling.json"
+        rc = perfbench_main([
+            "--client-scaling", "--skip-macro",
+            "--scaling-devices", "20", "200",
+            "--scaling-participants", "4", "--scaling-rounds", "1",
+            "--repeat", "1", "--output", str(out),
+        ])
+        assert rc == 0
+        payload = load_report(str(out))
+        cells = payload["client_scaling"]["cells"]
+        assert [c["registered_clients"] for c in cells] == [20, 200]
+        for c in cells:
+            assert c["participants"] == 4
+            assert c["hydrations"] > 0
+            assert c["peak_mem_mb"] > 0
+        # O(K) residency at tiny scale: 10x population must not cost
+        # 10x anything (the gate's floors absorb micro-run noise).
+        assert perfgate_main([str(out), "--scaling-tolerance", "2.0"]) == 0
+
+    def test_skip_macro_requires_scaling(self):
+        from tools.perfbench import main as perfbench_main
+
+        with pytest.raises(SystemExit):
+            perfbench_main(["--skip-macro"])

@@ -17,6 +17,14 @@ seconds are recorded for context only.
 ``REPRO_BENCH_SCALE`` (devices floor at 8 so a cohort is always worth
 stacking); ``--hotspots`` additionally records the top self-time spans
 of one traced batched run.
+
+``--client-scaling`` adds the massive-cohort axis (ISSUE 7): for each
+registered-population size ``N`` it builds a lazy synthetic federation,
+runs ``K`` participants per round through the virtual-client path, and
+records setup wall time, tracemalloc peak memory, and per-round wall
+time.  Because only packed metadata and the ``K`` hydrated shards are
+ever resident, all three should stay nearly flat as ``N`` grows —
+``tools/perfgate.py`` gates the max-N/min-N ratios.
 """
 
 from __future__ import annotations
@@ -27,15 +35,31 @@ import multiprocessing
 import platform
 import sys
 import time
+import tracemalloc
 from typing import Dict, List, Optional
 
 import numpy as np
 
-from repro.datasets import make_fashion
-from repro.fl.runner import FederatedRunConfig, run_federated
+from repro.core.algorithms import make_local_solver
+from repro.datasets import make_fashion, make_synthetic
+from repro.fl.delays import make_uniform_delays
+from repro.fl.executor import SequentialExecutor
+from repro.fl.runner import (
+    FederatedRunConfig,
+    build_client_pool,
+    resolve_smoothness,
+    run_federated,
+)
+from repro.fl.server import FederatedServer
 from repro.models import MultinomialLogisticModel
+from repro.utils.rng import spawn_seeds
 
 SCHEMA = "repro.perfbench/v1"
+
+#: default registered-population sizes of the --client-scaling axis
+SCALING_DEVICES = (100, 10_000, 100_000)
+#: participants per round on the scaling axis (K of the O(K) claim)
+SCALING_PARTICIPANTS = 16
 
 #: (algorithm, mu, solver_kwargs) of the Fig. 2 comparison.  The
 #: variance-reduced solvers skip the optional final-gradient audit
@@ -151,8 +175,178 @@ def capture_hotspots(
     return top_hotspots(sink.events, k=k)
 
 
+def scaling_cell(
+    num_devices: int,
+    participants: int,
+    *,
+    rounds: int = 2,
+    algorithm: str = "fedproxvr-svrg",
+    mu: float = 0.1,
+) -> Dict[str, object]:
+    """One point on the client-scaling axis.
+
+    Mirrors ``run_federated``'s construction sequence so the timed
+    *setup* phase is exactly what a user run pays before round 1:
+    dataset registration, smoothness probe, solver/pool/server build,
+    and ``w0`` initialization.  ``tracemalloc`` peak covers setup plus
+    the measured rounds — the resident-footprint number that must stay
+    sublinear in ``N``.
+    """
+    participants = min(participants, num_devices)
+    tracemalloc.start()
+    try:
+        t0 = time.perf_counter()
+        dataset = make_synthetic(
+            1.0,
+            1.0,
+            num_devices=num_devices,
+            num_features=60,
+            num_classes=10,
+            min_size=100,
+            max_size=400,
+            seed=0,
+            lazy=True,
+        )
+        config = FederatedRunConfig(
+            algorithm=algorithm,
+            num_rounds=rounds,
+            num_local_steps=10,
+            beta=5.0,
+            mu=mu,
+            batch_size=32,
+            seed=1,
+            client_fraction=participants / num_devices,
+            eval_every=rounds,
+            max_eval_clients=participants,
+        )
+        init_seed, server_seed = (
+            s.entropy for s in spawn_seeds(config.seed, 2)
+        )
+        probe_model = MultinomialLogisticModel(
+            dataset.num_features, dataset.num_classes
+        )
+        L = resolve_smoothness(
+            probe_model,
+            dataset,
+            seed=config.seed,
+            probe_devices=config.smoothness_probe_devices,
+        )
+        solver = make_local_solver(
+            config.algorithm,
+            step_size=1.0 / (config.beta * L),
+            num_steps=config.num_local_steps,
+            batch_size=config.batch_size,
+            mu=config.mu,
+        )
+        pool = build_client_pool(
+            dataset,
+            lambda: MultinomialLogisticModel(
+                dataset.num_features, dataset.num_classes
+            ),
+            solver,
+            share_model=True,
+            seed=config.seed,
+            virtual=True,
+            client_fraction=config.client_fraction,
+        )
+        server = FederatedServer(
+            pool,
+            eval_model=probe_model,
+            executor=SequentialExecutor(),
+            delay_model=make_uniform_delays(num_devices),
+            client_fraction=config.client_fraction,
+            seed=server_seed,
+            eval_client_cap=config.max_eval_clients,
+        )
+        w0 = probe_model.init_parameters(init_seed)
+        setup_seconds = time.perf_counter() - t0
+
+        t1 = time.perf_counter()
+        history, _ = server.train(
+            w0, rounds, algorithm_name=algorithm, eval_every=rounds
+        )
+        round_seconds = (time.perf_counter() - t1) / rounds
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    return {
+        "registered_clients": num_devices,
+        "participants": participants,
+        "rounds": rounds,
+        "setup_seconds": round(setup_seconds, 4),
+        "per_round_seconds": round(round_seconds, 4),
+        "peak_mem_mb": round(peak / 2**20, 3),
+        "hydrations": pool.hydration_count,
+        "lru_hits": pool.hit_count,
+        "final_loss": round(history.records[-1].train_loss, 6),
+    }
+
+
+def run_client_scaling(
+    devices: List[int], participants: int, *, rounds: int = 2, repeat: int = 1
+) -> Dict[str, object]:
+    """The client-scaling axis: one cell per registered-population size.
+
+    ``repeat`` keeps the best (minimum) wall times per cell; memory is
+    taken from the first repetition (allocation peaks are deterministic).
+    """
+    cells: List[Dict[str, object]] = []
+    for n in devices:
+        best: Optional[Dict[str, object]] = None
+        for _ in range(max(1, repeat)):
+            cell = scaling_cell(n, participants, rounds=rounds)
+            if best is None:
+                best = cell
+            else:
+                best["setup_seconds"] = min(
+                    best["setup_seconds"], cell["setup_seconds"]
+                )
+                best["per_round_seconds"] = min(
+                    best["per_round_seconds"], cell["per_round_seconds"]
+                )
+        assert best is not None
+        cells.append(best)
+        print(
+            f"N={best['registered_clients']:>7d} K={best['participants']:<3d} "
+            f"setup {best['setup_seconds']:7.3f}s   "
+            f"round {best['per_round_seconds']:7.3f}s   "
+            f"peak {best['peak_mem_mb']:8.2f} MiB   "
+            f"hydrations {best['hydrations']}"
+        )
+    return {
+        "participants": participants,
+        "rounds": rounds,
+        "measurement": {"repeat": repeat, "memory": "tracemalloc-peak"},
+        "cells": cells,
+    }
+
+
 def run_bench(args) -> Dict[str, object]:
     workload = build_workload(args)
+    payload: Dict[str, object] = {
+        "schema": SCHEMA,
+        "workload": workload,
+        "host": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "cpu_count": multiprocessing.cpu_count(),
+            "machine": platform.machine(),
+        },
+        "measurement": {"repeat": args.repeat, "metric": "min-wall-seconds"},
+    }
+    if not args.skip_macro:
+        payload.update(run_macro(workload, args))
+    if args.client_scaling:
+        payload["client_scaling"] = run_client_scaling(
+            args.scaling_devices or list(SCALING_DEVICES),
+            args.scaling_participants,
+            rounds=args.scaling_rounds,
+            repeat=args.repeat,
+        )
+    return payload
+
+
+def run_macro(workload: Dict[str, object], args) -> Dict[str, object]:
     dataset = make_dataset(workload)
     results: Dict[str, dict] = {}
     for algorithm, mu, solver_kwargs in ALGOS:
@@ -177,26 +371,17 @@ def run_bench(args) -> Dict[str, object]:
             f"   bit-identical: {identical}"
         )
     speedups = [r["speedup"] for r in results.values()]
-    payload: Dict[str, object] = {
-        "schema": SCHEMA,
-        "workload": workload,
-        "host": {
-            "python": platform.python_version(),
-            "numpy": np.__version__,
-            "cpu_count": multiprocessing.cpu_count(),
-            "machine": platform.machine(),
-        },
-        "measurement": {"repeat": args.repeat, "metric": "min-wall-seconds"},
+    section: Dict[str, object] = {
         "results": results,
         "min_speedup": round(min(speedups), 4),
         "geomean_speedup": round(float(np.exp(np.mean(np.log(speedups)))), 4),
     }
     if args.hotspots:
         algorithm, mu, solver_kwargs = ALGOS[-1]
-        payload["hotspots"] = capture_hotspots(
+        section["hotspots"] = capture_hotspots(
             workload, algorithm, mu, solver_kwargs
         )
-    return payload
+    return section
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -216,11 +401,28 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="write the JSON artifact here")
     parser.add_argument("--hotspots", action="store_true",
                         help="record top self-time spans of a traced batched run")
+    parser.add_argument("--client-scaling", action="store_true",
+                        help="also run the massive-cohort scaling axis "
+                             "(virtual clients, lazy shards)")
+    parser.add_argument("--scaling-devices", type=int, nargs="+", default=None,
+                        help=f"registered-population sizes for the scaling "
+                             f"axis (default {list(SCALING_DEVICES)})")
+    parser.add_argument("--scaling-participants", type=int,
+                        default=SCALING_PARTICIPANTS,
+                        help="participants per round on the scaling axis "
+                             f"(default {SCALING_PARTICIPANTS})")
+    parser.add_argument("--scaling-rounds", type=int, default=2,
+                        help="measured rounds per scaling cell (default 2)")
+    parser.add_argument("--skip-macro", action="store_true",
+                        help="skip the fig2 macro bench (scaling-only artifact)")
     args = parser.parse_args(argv)
+    if args.skip_macro and not args.client_scaling:
+        parser.error("--skip-macro requires --client-scaling")
 
     payload = run_bench(args)
-    print(f"min speedup {payload['min_speedup']}x, "
-          f"geomean {payload['geomean_speedup']}x")
+    if "min_speedup" in payload:
+        print(f"min speedup {payload['min_speedup']}x, "
+              f"geomean {payload['geomean_speedup']}x")
     if args.output:
         with open(args.output, "w", encoding="utf-8") as fh:
             json.dump(payload, fh, indent=2, sort_keys=True)

@@ -15,6 +15,15 @@ algorithm in the baseline:
 * the batched result is still bit-identical to sequential, and
 * ``current_speedup >= baseline_speedup * tolerance``.
 
+Artifacts carrying a ``client_scaling`` section (``perfbench
+--client-scaling``) are additionally gated on the massive-cohort claim:
+setup time, peak memory, and per-round wall time at the largest ``N``
+must stay within ``--scaling-tolerance`` times the smallest-``N`` cell
+(i.e. roughly flat in the registered-population size, because only the
+``K`` hydrated clients are ever resident).  Small absolute floors keep
+sub-resolution timing noise from tripping the ratio.  ``--scaling-*``
+budget flags add absolute ceilings for CI smoke jobs.
+
 ``--update`` rewrites the baseline from the current run — the ratchet:
 run it after a deliberate perf change, commit the new baseline, and
 regressions against the improved numbers start failing.
@@ -30,6 +39,12 @@ from typing import Dict, List, Optional, Tuple
 
 SCHEMA = "repro.perfbench/v1"
 
+#: ratio floors: differences below these absolute magnitudes are noise,
+#: not scaling behaviour (sub-resolution timer reads, allocator jitter)
+SETUP_FLOOR_SECONDS = 0.05
+ROUND_FLOOR_SECONDS = 0.05
+MEM_FLOOR_MB = 8.0
+
 
 def load_report(path: str) -> Dict[str, object]:
     with open(path, "r", encoding="utf-8") as fh:
@@ -38,8 +53,10 @@ def load_report(path: str) -> Dict[str, object]:
         raise ValueError(
             f"{path}: expected schema {SCHEMA!r}, got {payload.get('schema')!r}"
         )
-    if not isinstance(payload.get("results"), dict) or not payload["results"]:
-        raise ValueError(f"{path}: no results")
+    has_macro = isinstance(payload.get("results"), dict) and payload["results"]
+    has_scaling = isinstance(payload.get("client_scaling"), dict)
+    if not has_macro and not has_scaling:
+        raise ValueError(f"{path}: no results and no client_scaling section")
     return payload
 
 
@@ -48,7 +65,7 @@ def check(
     baseline: Dict[str, object],
     tolerance: float,
 ) -> Tuple[bool, List[str]]:
-    """Evaluate the gate; returns (passed, report lines)."""
+    """Evaluate the speedup-ratchet gate; returns (passed, report lines)."""
     lines: List[str] = []
     passed = True
     for algorithm, base in baseline["results"].items():
@@ -76,6 +93,114 @@ def check(
     return passed, lines
 
 
+def _ratio_check(
+    label: str,
+    small: float,
+    large: float,
+    tolerance: float,
+    floor: float,
+    unit: str,
+) -> Tuple[bool, str]:
+    """Pass when the largest-N value is within ``tolerance``x of the
+    smallest-N value, after lifting both to the noise floor."""
+    ceiling = max(small, floor) * tolerance
+    effective = max(large, floor)
+    ok = effective <= ceiling
+    verdict = "ok  " if ok else "FAIL"
+    return ok, (
+        f"{verdict} scaling {label}: {large:.4g}{unit} at max N vs "
+        f"{small:.4g}{unit} at min N (ceiling {ceiling:.4g}{unit})"
+    )
+
+
+def check_scaling(
+    current: Dict[str, object],
+    tolerance: float,
+    *,
+    setup_budget: Optional[float] = None,
+    mem_budget_mb: Optional[float] = None,
+    round_budget: Optional[float] = None,
+) -> Tuple[bool, List[str]]:
+    """Gate the client-scaling section's flat-in-N claim.
+
+    Compares the largest-``N`` cell against the smallest one; the axis
+    is self-contained (no baseline needed) because the claim is about
+    the *shape* of the trajectory, not absolute host speed.  Optional
+    budgets bound the max-``N`` cell absolutely for CI smoke jobs.
+    """
+    section = current.get("client_scaling")
+    lines: List[str] = []
+    if not isinstance(section, dict) or not section.get("cells"):
+        return False, ["FAIL scaling: no client_scaling cells in artifact"]
+    cells = sorted(
+        section["cells"], key=lambda c: int(c["registered_clients"])
+    )
+    lo, hi = cells[0], cells[-1]
+    if len(cells) < 2:
+        lines.append(
+            "note scaling: single cell — ratio checks skipped, "
+            "budgets still apply"
+        )
+        passed = True
+    else:
+        lines.append(
+            f"     scaling N range: {lo['registered_clients']} -> "
+            f"{hi['registered_clients']} "
+            f"(K={section.get('participants')}, "
+            f"x{int(hi['registered_clients']) // int(lo['registered_clients'])} "
+            f"population growth)"
+        )
+        checks = [
+            _ratio_check(
+                "setup_seconds",
+                float(lo["setup_seconds"]),
+                float(hi["setup_seconds"]),
+                tolerance,
+                SETUP_FLOOR_SECONDS,
+                "s",
+            ),
+            _ratio_check(
+                "peak_mem_mb",
+                float(lo["peak_mem_mb"]),
+                float(hi["peak_mem_mb"]),
+                tolerance,
+                MEM_FLOOR_MB,
+                "MB",
+            ),
+            _ratio_check(
+                "per_round_seconds",
+                float(lo["per_round_seconds"]),
+                float(hi["per_round_seconds"]),
+                tolerance,
+                ROUND_FLOOR_SECONDS,
+                "s",
+            ),
+        ]
+        passed = all(ok for ok, _ in checks)
+        lines.extend(line for _, line in checks)
+    budgets = [
+        ("setup_seconds", setup_budget, float(hi["setup_seconds"]), "s"),
+        ("peak_mem_mb", mem_budget_mb, float(hi["peak_mem_mb"]), "MB"),
+        (
+            "per_round_seconds",
+            round_budget,
+            float(hi["per_round_seconds"]),
+            "s",
+        ),
+    ]
+    for label, budget, value, unit in budgets:
+        if budget is None:
+            continue
+        ok = value <= budget
+        if not ok:
+            passed = False
+        lines.append(
+            f"{'ok  ' if ok else 'FAIL'} scaling budget {label}: "
+            f"{value:.4g}{unit} <= {budget:.4g}{unit} at max N"
+        )
+    return passed, lines
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("current", help="perfbench JSON from the current tree")
@@ -85,6 +210,17 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="fraction of the baseline speedup that must "
                              "survive (default: %(default)s; guards against "
                              "scheduler noise without hiding real regressions)")
+    parser.add_argument("--scaling-tolerance", type=float, default=2.0,
+                        help="max-N cells may cost at most this multiple of "
+                             "the min-N cell (default: %(default)s — the "
+                             "'within ~2x' sublinearity claim)")
+    parser.add_argument("--scaling-setup-budget", type=float, default=None,
+                        help="absolute ceiling (seconds) on max-N setup time")
+    parser.add_argument("--scaling-mem-budget-mb", type=float, default=None,
+                        help="absolute ceiling (MB) on max-N tracemalloc peak")
+    parser.add_argument("--scaling-round-budget", type=float, default=None,
+                        help="absolute ceiling (seconds) on max-N per-round "
+                             "wall time")
     parser.add_argument("--update", action="store_true",
                         help="ratchet: overwrite the baseline with the "
                              "current run instead of gating")
@@ -95,10 +231,24 @@ def main(argv: Optional[List[str]] = None) -> int:
         shutil.copyfile(args.current, args.baseline)
         print(f"baseline {args.baseline} updated from {args.current}")
         return 0
-    baseline = load_report(args.baseline)
-    passed, lines = check(current, baseline, args.tolerance)
-    for line in lines:
-        print(line)
+    passed = True
+    if isinstance(current.get("results"), dict) and current["results"]:
+        baseline = load_report(args.baseline)
+        macro_passed, lines = check(current, baseline, args.tolerance)
+        passed = passed and macro_passed
+        for line in lines:
+            print(line)
+    if "client_scaling" in current:
+        scaling_passed, lines = check_scaling(
+            current,
+            args.scaling_tolerance,
+            setup_budget=args.scaling_setup_budget,
+            mem_budget_mb=args.scaling_mem_budget_mb,
+            round_budget=args.scaling_round_budget,
+        )
+        passed = passed and scaling_passed
+        for line in lines:
+            print(line)
     print("perf gate:", "PASS" if passed else "FAIL")
     return 0 if passed else 1
 
