@@ -268,6 +268,8 @@ def cmd_lint(args) -> int:
         argv.append("--fix")
     if args.dry_run:
         argv.append("--dry-run")
+    if args.jobs != 1:
+        argv += ["--jobs", str(args.jobs)]
     if args.list_rules:
         argv.append("--list-rules")
     return reprolint_main(argv)
@@ -342,6 +344,8 @@ def build_parser() -> argparse.ArgumentParser:
                         help="drop stale baseline entries and exit")
     p_lint.add_argument("--update-baseline", action="store_true",
                         help="accept current findings into the baseline")
+    p_lint.add_argument("--jobs", type=int, default=1,
+                        help="analyze files on N threads (default 1: serial)")
     p_lint.add_argument("--list-rules", action="store_true",
                         help="print every rule and exit")
     p_lint.set_defaults(func=cmd_lint)

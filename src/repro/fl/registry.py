@@ -28,6 +28,7 @@ Hydration cost is observable through ``repro.obs``: the pool maintains
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Callable, Iterator, List, Optional, Sequence
@@ -254,6 +255,9 @@ class LazyClientPool:
         self.capacity = int(capacity)
         self._shared_model: Optional[Model] = None
         self._cache: "OrderedDict[int, Client]" = OrderedDict()
+        #: guards the LRU cache, the shared model, and the counters —
+        #: hydration may be triggered from pool worker threads.
+        self._lock = threading.Lock()
         self.hydration_count = 0
         self.hit_count = 0
         self.eviction_count = 0
@@ -264,6 +268,7 @@ class LazyClientPool:
         return None
 
     def _model(self) -> Model:
+        # Caller holds self._lock (shared-model lazy init must not race).
         if not self.share_model:
             return self.model_factory()
         if self._shared_model is None:
@@ -276,22 +281,28 @@ class LazyClientPool:
         )
 
     def client(self, index: int) -> Client:
-        """Hydrate one client through the LRU (hot clients are cached)."""
-        cached = self._cache.get(index)
-        if cached is not None:
-            self._cache.move_to_end(index)
-            self.hit_count += 1
-            telemetry.counter_add("fl.cohort.lru_hits", 1)
-            return cached
-        client = self._build(index)
-        self.hydration_count += 1
-        telemetry.counter_add("fl.cohort.hydrations", 1)
-        self._cache[index] = client
-        while len(self._cache) > self.capacity:
-            self._cache.popitem(last=False)
-            self.eviction_count += 1
-            telemetry.counter_add("fl.cohort.evictions", 1)
-        return client
+        """Hydrate one client through the LRU (hot clients are cached).
+
+        Thread-safe: the whole lookup-or-hydrate is one critical
+        section, so two workers asking for the same cold client cannot
+        double-hydrate it or corrupt the LRU ordering.
+        """
+        with self._lock:
+            cached = self._cache.get(index)
+            if cached is not None:
+                self._cache.move_to_end(index)
+                self.hit_count += 1
+                telemetry.counter_add("fl.cohort.lru_hits", 1)
+                return cached
+            client = self._build(index)
+            self.hydration_count += 1
+            telemetry.counter_add("fl.cohort.hydrations", 1)
+            self._cache[index] = client
+            while len(self._cache) > self.capacity:
+                self._cache.popitem(last=False)
+                self.eviction_count += 1
+                telemetry.counter_add("fl.cohort.evictions", 1)
+            return client
 
     def hydrate(self, indices: Sequence[int]) -> List[Client]:
         """Hydrate a round's cohort, ordered like ``indices``."""
@@ -305,12 +316,13 @@ class LazyClientPool:
         round-hot cohort pooled.  Cached clients are still reused.
         """
         for i in indices:
-            cached = self._cache.get(i)
-            if cached is not None:
-                self.hit_count += 1
-                telemetry.counter_add("fl.cohort.lru_hits", 1)
-                yield cached
-            else:
-                self.hydration_count += 1
-                telemetry.counter_add("fl.cohort.hydrations", 1)
-                yield self._build(i)
+            with self._lock:
+                cached = self._cache.get(i)
+                if cached is not None:
+                    self.hit_count += 1
+                    telemetry.counter_add("fl.cohort.lru_hits", 1)
+                else:
+                    self.hydration_count += 1
+                    telemetry.counter_add("fl.cohort.hydrations", 1)
+                    cached = self._build(i)
+            yield cached

@@ -277,10 +277,21 @@ def run_federated(
         and config.client_fraction < 1.0
     ):
         raise ConfigurationError(
-            "the process executor maps shards into shared memory at pool "
-            "start-up, so it needs a stable cohort: virtual clients with "
-            "client_fraction < 1.0 would present a different cohort each "
-            "round (use sequential/thread/batched, or full participation)"
+            "executor='process' with virtual clients and client_fraction "
+            f"= {config.client_fraction} is unsupported: the process "
+            "executor maps every participating client's shard into a "
+            "ShmArena shared-memory segment once, at pool start-up, and "
+            "workers attach those fixed segments for the whole run — a "
+            "partially sampled virtual cohort would need different "
+            "segments each round. Supported alternatives: (a) keep "
+            "partial participation on an in-process executor "
+            "(executor='thread', 'batched', or 'sequential'); (b) keep "
+            "executor='process' with full participation "
+            "(client_fraction=1.0) so the shared-memory cohort is the "
+            "whole population; or (c) set virtual_clients=False to "
+            "materialize the population eagerly, which registers every "
+            "shard in shared memory up front so sampled cohorts are "
+            "subsets of the mapped segments."
         )
 
     probe_model = model_factory()

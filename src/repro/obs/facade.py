@@ -67,7 +67,8 @@ class Telemetry:
             raise RuntimeError("telemetry already configured; shutdown() first")
         self._sinks = list(sinks)
         self.metrics.reset()
-        self._round_base = {}
+        with self._lock:
+            self._round_base = {}
         self._sim_clock = None
         meta: Dict[str, Any] = {"type": "meta", "schema": SCHEMA,
                                 "nn_profiling": bool(nn_profiling)}

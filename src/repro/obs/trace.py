@@ -151,7 +151,9 @@ class Tracer:
     def __init__(self, on_finish: Optional[Callable[[Span], None]] = None) -> None:
         self._stack = _Stack()
         self._on_finish = on_finish
-        #: spans finished since construction/reset (all threads)
+        self._count_lock = threading.Lock()
+        #: spans finished since construction/reset (all threads); read
+        #: without the lock is fine, writes must hold ``_count_lock``
         self.finished_count = 0
 
     def span(
@@ -178,6 +180,7 @@ class Tracer:
             spans.remove(span)
 
     def _finish(self, span: Span) -> None:
-        self.finished_count += 1
+        with self._count_lock:
+            self.finished_count += 1
         if self._on_finish is not None:
             self._on_finish(span)

@@ -86,3 +86,75 @@ class TestShmArena:
             arena.put(np.ones(2))
             arena.create((3,))
             assert len(arena) == 2
+
+
+def _leaked(specs):
+    """The subset of ``specs`` whose segments are still attachable.
+
+    An attachable name after the owning arena closed is an orphaned
+    segment — exactly what a leak audit must catch.
+    """
+    orphans = []
+    for spec in specs:
+        try:
+            _, handle = attach_array(spec)
+        except FileNotFoundError:
+            continue
+        handle.close()
+        orphans.append(spec.shm_name)
+    return orphans
+
+
+class TestShmLifecycle:
+    """Create/attach/close/unlink pairing and orphan detection."""
+
+    def test_every_attach_pairs_with_close(self):
+        with ShmArena() as arena:
+            spec = arena.put(np.arange(4, dtype=np.float64))
+            first, h1 = attach_array(spec)
+            second, h2 = attach_array(spec)
+            np.testing.assert_array_equal(first, second)
+            h1.close()
+            # The second mapping survives the first handle's close, and
+            # the creator still owns the segment.
+            assert second[1] == 1.0
+            h2.close()
+            third, h3 = attach_array(spec)
+            try:
+                np.testing.assert_array_equal(third, np.arange(4))
+            finally:
+                h3.close()
+
+    def test_exception_inside_context_still_unlinks(self):
+        # Failure injection: the `with` block dies mid-population; the
+        # arena must not orphan any of the segments it created.
+        specs = []
+        with pytest.raises(RuntimeError, match="injected"):
+            with ShmArena() as arena:
+                specs.append(arena.put(np.ones(8)))
+                specs.append(arena.create((16,))[0])
+                raise RuntimeError("injected failure mid-population")
+        assert specs and _leaked(specs) == []
+
+    def test_closed_arena_rejects_create_too(self):
+        arena = ShmArena()
+        arena.close()
+        with pytest.raises(ConfigurationError):
+            arena.create((3,))
+
+    def test_repeated_arenas_leave_no_orphans(self):
+        # Leak detection across many short-lived arenas (the per-run
+        # pattern of the process executor's start/stop cycle).
+        specs = []
+        for i in range(5):
+            with ShmArena() as arena:
+                specs.append(arena.put(np.full(3, float(i))))
+        assert _leaked(specs) == []
+
+    def test_double_close_after_failure_injection(self):
+        arena = ShmArena()
+        spec = arena.put(np.ones(2))
+        arena.close()
+        arena.close()  # second close after teardown must stay silent
+        with pytest.raises(FileNotFoundError):
+            attach_array(spec)

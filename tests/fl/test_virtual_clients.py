@@ -359,6 +359,27 @@ class TestSampledCohorts:
         with pytest.raises(ConfigurationError):
             run_federated(lazy_dataset, _factory(lazy_dataset), config)
 
+    def test_partial_virtual_rejection_names_constraint_and_fixes(
+        self, lazy_dataset
+    ):
+        # The message must explain the shared-memory constraint and name
+        # every supported way out, not just say "unsupported".
+        config = FederatedRunConfig(
+            executor="process", client_fraction=0.5, num_rounds=1
+        )
+        with pytest.raises(ConfigurationError) as excinfo:
+            run_federated(lazy_dataset, _factory(lazy_dataset), config)
+        message = str(excinfo.value)
+        assert "shared-memory" in message
+        assert "ShmArena" in message
+        assert "client_fraction = 0.5" in message
+        for alternative in (
+            "executor='thread'",
+            "client_fraction=1.0",
+            "virtual_clients=False",
+        ):
+            assert alternative in message
+
 
 class TestTelemetry:
     def test_registry_and_cohort_metrics_emitted(self, lazy_dataset):

@@ -441,7 +441,10 @@ class TestSuppressionSpans:
         [finding] = findings_for(report, "RL500")
         assert finding.line == 5  # the beta=2.0 continuation line
 
-    def test_compound_header_comment_does_not_cover_body(self, tmp_path):
+    def test_compound_header_comment_covers_body(self, tmp_path):
+        # v3 closed the v2 gap: a disable on the compound statement's
+        # header now covers its body (rules often anchor construct-level
+        # findings to body lines).
         report, _ = run_lint(
             tmp_path,
             {
@@ -453,7 +456,58 @@ class TestSuppressionSpans:
                 """
             },
         )
-        assert len(findings_for(report, "RL200")) == 1
+        assert findings_for(report, "RL200") == []
+        assert report.suppressed_count >= 1
+
+    def test_body_comment_does_not_leak_to_sibling_lines(self, tmp_path):
+        # A disable *inside* the body still scopes to its own statement:
+        # the second seed() call must stay flagged.
+        report, _ = run_lint(
+            tmp_path,
+            {
+                "src/repro/blockbody.py": """\
+                import numpy as np
+
+                if flag:
+                    np.random.seed(0)  # reprolint: disable=RL200
+                    np.random.seed(1)
+                """
+            },
+        )
+        [finding] = findings_for(report, "RL200")
+        assert finding.line == 5
+
+    def test_header_comment_does_not_cover_following_statement(self, tmp_path):
+        # Coverage stops at the compound statement's end_lineno.
+        report, _ = run_lint(
+            tmp_path,
+            {
+                "src/repro/blockafter.py": """\
+                import numpy as np
+
+                if flag:  # reprolint: disable=RL200
+                    np.random.seed(0)
+                np.random.seed(1)
+                """
+            },
+        )
+        [finding] = findings_for(report, "RL200")
+        assert finding.line == 5
+
+    def test_def_header_comment_covers_function_body(self, tmp_path):
+        report, _ = run_lint(
+            tmp_path,
+            {
+                "src/repro/defhdr.py": """\
+                import numpy as np
+
+
+                def reseed():  # reprolint: disable=RL200
+                    np.random.seed(0)
+                """
+            },
+        )
+        assert findings_for(report, "RL200") == []
 
 
 # ---------------------------------------------------------------------------

@@ -109,6 +109,98 @@ class NumpyAliases:
         )
 
 
+#: Receiver-name fragments that mark a ``.map`` call as an executor
+#: dispatch rather than an unrelated container method.  ``.submit`` is
+#: distinctive enough to count unconditionally.
+_EXECUTORISH_FRAGMENTS = ("pool", "executor", "worker")
+
+
+def submission_method(call: ast.Call) -> Optional[str]:
+    """``"submit"``/``"map"`` when ``call`` hands a task to an executor.
+
+    Matches ``<recv>.submit(fn, ...)`` always, and ``<recv>.map(fn, it)``
+    only when the receiver's terminal name looks executor-ish (contains
+    ``pool``/``executor``/``worker``), since ``.map`` is a common method
+    name on non-concurrent objects.  Returns ``None`` otherwise.
+    """
+    func = call.func
+    if not isinstance(func, ast.Attribute) or not call.args:
+        return None
+    if func.attr == "submit":
+        return "submit"
+    if func.attr == "map" and len(call.args) >= 2:
+        recv = func.value
+        recv_name = None
+        if isinstance(recv, ast.Name):
+            recv_name = recv.id
+        elif isinstance(recv, ast.Attribute):
+            recv_name = recv.attr
+        if recv_name is not None and any(
+            frag in recv_name.lower() for frag in _EXECUTORISH_FRAGMENTS
+        ):
+            return "map"
+    return None
+
+
+def callable_bare_name(node: ast.AST) -> Optional[str]:
+    """The bare name a submitted callable would resolve under.
+
+    ``f`` for ``f``; ``local_update`` for ``c.local_update`` (bound
+    method — submission runs the method); ``"<lambda>"`` for lambdas.
+    """
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Lambda):
+        return "<lambda>"
+    return None
+
+
+def lambda_free_names(lam: ast.Lambda) -> List[ast.Name]:
+    """``Name`` loads in the lambda body not bound by its own parameters."""
+    args = lam.args
+    bound = {a.arg for a in args.posonlyargs + args.args + args.kwonlyargs}
+    if args.vararg:
+        bound.add(args.vararg.arg)
+    if args.kwarg:
+        bound.add(args.kwarg.arg)
+    return [
+        sub
+        for sub in ast.walk(lam.body)
+        if isinstance(sub, ast.Name)
+        and isinstance(sub.ctx, ast.Load)
+        and sub.id not in bound
+    ]
+
+
+def submission_captured_names(call: ast.Call) -> List[ast.Name]:
+    """Every ``Name`` whose value escapes into a submitted task.
+
+    Covers positional/keyword task arguments, the receiver of a bound
+    method used as the callable (``pool.submit(c.local_update, ...)``
+    captures ``c``), and the free variables of a lambda callable.  The
+    callable itself, when a bare function reference, captures no data.
+    """
+    captured: List[ast.Name] = []
+    target = call.args[0]
+    if isinstance(target, ast.Lambda):
+        captured.extend(lambda_free_names(target))
+    elif not isinstance(target, ast.Name):
+        for sub in ast.walk(target):
+            if isinstance(sub, ast.Name) and isinstance(sub.ctx, ast.Load):
+                captured.append(sub)
+    for arg in call.args[1:]:
+        for sub in ast.walk(arg):
+            if isinstance(sub, ast.Name) and isinstance(sub.ctx, ast.Load):
+                captured.append(sub)
+    for kw in call.keywords:
+        for sub in ast.walk(kw.value):
+            if isinstance(sub, ast.Name) and isinstance(sub.ctx, ast.Load):
+                captured.append(sub)
+    return captured
+
+
 def contains_call_to(node: ast.AST, func_names: Tuple[str, ...]) -> bool:
     """Does any descendant call a function whose (attribute) name matches?"""
     for sub in ast.walk(node):

@@ -69,6 +69,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="with --fix: print the unified diff without writing files",
     )
     parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="analyze files on N threads (default 1: serial; the report "
+        "is identical either way)",
+    )
+    parser.add_argument(
         "--list-rules", action="store_true", help="print every rule and exit"
     )
     parser.add_argument(
@@ -99,7 +106,7 @@ def main(argv: Optional[List[str]] = None) -> int:
               file=sys.stderr)
         return 2
 
-    report = lint_paths(paths, config, baseline_path=baseline_path)
+    report = lint_paths(paths, config, baseline_path=baseline_path, jobs=args.jobs)
 
     if args.update_baseline:
         entries = save_baseline(baseline_path, report.findings + report.baselined)
@@ -134,7 +141,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"fixed {sum(len(f.applied) for f in changed)} finding(s) "
               f"in {written} file(s)")
         # Re-lint so the report and exit code describe the post-fix tree.
-        report = lint_paths(paths, config, baseline_path=baseline_path)
+        report = lint_paths(paths, config, baseline_path=baseline_path, jobs=args.jobs)
 
     if args.fmt == "json":
         rendered = render_json(report)

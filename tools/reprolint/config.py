@@ -95,6 +95,7 @@ DEFAULT_THEORY_CHECKS = [
 
 ALL_FAMILIES = (
     "layering", "rng", "dtype", "safety", "theory", "provenance", "hygiene",
+    "concurrency",
 )
 
 

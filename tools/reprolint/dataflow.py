@@ -16,7 +16,17 @@ the RL6xx rules need to ask:
   ``spawn_seeds`` / ``derive_generator``), including elements obtained
   by subscripting or iterating the spawned list;
 * ``param``    — a function parameter (the caller's responsibility);
+* ``unordered`` — a value with no deterministic iteration order (set
+  literals, ``set()``/``frozenset()`` calls, set comprehensions); the
+  RL805 bit-identity rule asks whether such a value feeds aggregation;
 * ``unknown``  — everything else.
+
+Beyond value provenance, each scope exposes its **submission sites**
+(:meth:`ScopeAnalysis.submission_sites`): the ``<pool>.submit(fn, ...)``
+/ ``<pool>.map(fn, it)`` calls that hand work to an executor, with the
+names each task captures and the loops enclosing the call.  The RL8xx
+concurrency rules combine these escape facts with provenance to reason
+about values shared across executor boundaries.
 
 The analysis is a may-analysis (join = set union) run to fixpoint per
 scope (module body and each function body, including nested functions).
@@ -32,7 +42,12 @@ import ast
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
-from tools.reprolint.asthelpers import NumpyAliases
+from tools.reprolint.asthelpers import (
+    NumpyAliases,
+    callable_bare_name,
+    submission_captured_names,
+    submission_method,
+)
 from tools.reprolint.cfg import CFG, build_cfg
 
 #: Functions whose result carries the blessed RNG lineage.
@@ -102,6 +117,68 @@ def join_envs(envs: Sequence[Env]) -> Env:
     return {name: _cap(vals) for name, vals in out.items()}
 
 
+@dataclass(frozen=True)
+class SubmissionSite:
+    """One executor hand-off (``pool.submit``/``pool.map``) in a scope."""
+
+    call: ast.Call
+    method: str  # "submit" | "map"
+    callable_node: ast.AST
+    callable_name: Optional[str]
+    #: ``Name`` loads whose values escape into the submitted task
+    #: (task args, bound-method receivers, lambda free variables).
+    captured: Tuple[ast.Name, ...]
+    #: loops of *this scope* enclosing the call, outermost first.
+    loops: Tuple[ast.stmt, ...]
+
+
+class _SubmissionScanner(ast.NodeVisitor):
+    """Collect a scope's submission sites without entering nested scopes."""
+
+    def __init__(self) -> None:
+        self.sites: List[SubmissionSite] = []
+        self._loops: List[ast.stmt] = []
+
+    # Nested defs/lambdas are separate scopes with their own analysis.
+    def visit_FunctionDef(self, node: ast.AST) -> None:
+        return None
+
+    visit_AsyncFunctionDef = visit_FunctionDef
+    visit_ClassDef = visit_FunctionDef
+    visit_Lambda = visit_FunctionDef
+
+    def visit_For(self, node: ast.AST) -> None:
+        self._loops.append(node)
+        self.generic_visit(node)
+        self._loops.pop()
+
+    visit_AsyncFor = visit_For
+    visit_While = visit_For
+
+    def visit_Call(self, node: ast.Call) -> None:
+        method = submission_method(node)
+        if method is not None:
+            self.sites.append(
+                SubmissionSite(
+                    call=node,
+                    method=method,
+                    callable_node=node.args[0],
+                    callable_name=callable_bare_name(node.args[0]),
+                    captured=tuple(submission_captured_names(node)),
+                    loops=tuple(self._loops),
+                )
+            )
+        self.generic_visit(node)
+
+
+def scan_submissions(body: List[ast.stmt]) -> List[SubmissionSite]:
+    """Submission sites lexically in ``body`` (nested scopes excluded)."""
+    scanner = _SubmissionScanner()
+    for stmt in body:
+        scanner.visit(stmt)
+    return scanner.sites
+
+
 def _terminal_name(func: ast.AST) -> Optional[str]:
     """``f`` for ``f(...)``, ``m.f`` or ``pkg.m.f`` — the called name."""
     if isinstance(func, ast.Name):
@@ -124,6 +201,8 @@ class ScopeAnalysis:
         theory_checks: Tuple[str, ...] = THEORY_CHECK_FUNCTIONS,
     ) -> None:
         self.scope_node = scope_node
+        self.body = body
+        self._submissions: Optional[List[SubmissionSite]] = None
         self.cfg: CFG = build_cfg(body)
         self._aliases = aliases
         self._blessed = set(blessed_factories)
@@ -151,6 +230,12 @@ class ScopeAnalysis:
         if unit is None:
             return _UNKNOWN_SET
         return self.eval(expr, self.env_before(unit))
+
+    def submission_sites(self) -> List[SubmissionSite]:
+        """Executor hand-offs in this scope (computed once, cached)."""
+        if self._submissions is None:
+            self._submissions = scan_submissions(self.body)
+        return self._submissions
 
     # -- construction ------------------------------------------------------
 
@@ -371,11 +456,20 @@ class ScopeAnalysis:
         if isinstance(expr, (ast.Tuple, ast.List, ast.Set)):
             # Containers: provenance of the *elements*, so that a list of
             # spawned generators keeps the blessed lineage through
-            # subscripting/iteration.
+            # subscripting/iteration.  Set displays additionally carry
+            # the ``unordered`` fact — iterating them has no stable order.
             merged: Set[AbstractValue] = set()
             for elt in expr.elts:
                 merged |= set(self.eval(elt, env))
+            if isinstance(expr, ast.Set):
+                merged.add(
+                    AbstractValue("unordered", origin_line=expr.lineno)
+                )
             return _cap(merged) if merged else _UNKNOWN_SET
+        if isinstance(expr, ast.SetComp):
+            return frozenset(
+                {AbstractValue("unordered", origin_line=expr.lineno)}
+            )
         return _UNKNOWN_SET
 
     def _eval_call(self, call: ast.Call, env: Env) -> ValueSet:
@@ -384,6 +478,13 @@ class ScopeAnalysis:
         name = _terminal_name(call.func)
         if name in self._blessed:
             return frozenset({AbstractValue("rng_blessed", origin_line=call.lineno)})
+        if isinstance(call.func, ast.Name) and call.func.id in (
+            "set",
+            "frozenset",
+        ):
+            return frozenset(
+                {AbstractValue("unordered", origin_line=call.lineno)}
+            )
         if isinstance(call.func, ast.Name):
             callee = env.get(call.func.id, frozenset())
             if any(v.kind == "rng_raw_factory" for v in callee):
@@ -494,6 +595,14 @@ class ModuleDataflow:
             if unit is not None:
                 return scope.eval(expr, scope.env_before(unit))
         return _UNKNOWN_SET
+
+    def submission_sites(self) -> List[Tuple["ScopeAnalysis", SubmissionSite]]:
+        """Every executor hand-off in the module, paired with its scope."""
+        out: List[Tuple[ScopeAnalysis, SubmissionSite]] = []
+        for scope in self.scopes:
+            for site in scope.submission_sites():
+                out.append((scope, site))
+        return out
 
     def unreachable_units(self) -> List[ast.stmt]:
         out: List[ast.stmt] = []

@@ -187,8 +187,16 @@ def lint_paths(
     config: LintConfig,
     *,
     baseline_path: Optional[Path] = None,
+    jobs: int = 1,
 ) -> LintReport:
-    """Lint every Python file under ``paths`` and apply the baseline."""
+    """Lint every Python file under ``paths`` and apply the baseline.
+
+    ``jobs > 1`` runs the per-file rule phase on a thread pool.  Results
+    are collected in file-discovery order regardless of completion
+    order, so the report is identical to a serial run; rules share the
+    read-only :class:`ProjectIndex` and each file's dataflow is private
+    to its :class:`FileContext`, so the phase parallelizes safely.
+    """
     report = LintReport()
     parsed_files = [
         _parse_file(path, config) for path in iter_python_files([Path(p) for p in paths])
@@ -196,8 +204,21 @@ def lint_paths(
     index = build_index(parsed_files)
     report.index = index
     raw: List[Finding] = []
-    for parsed in parsed_files:
-        file_findings, suppressed = _check_parsed(parsed, config, index)
+    if jobs > 1 and len(parsed_files) > 1:
+        from concurrent.futures import ThreadPoolExecutor
+
+        with ThreadPoolExecutor(max_workers=jobs) as pool:
+            results = list(
+                pool.map(
+                    lambda parsed: _check_parsed(parsed, config, index),
+                    parsed_files,
+                )
+            )
+    else:
+        results = [
+            _check_parsed(parsed, config, index) for parsed in parsed_files
+        ]
+    for file_findings, suppressed in results:
         report.files_checked += 1
         report.suppressed_count += suppressed
         raw.extend(file_findings)

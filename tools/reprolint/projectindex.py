@@ -18,7 +18,11 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Set, Tuple
 
-from tools.reprolint.asthelpers import attribute_chain
+from tools.reprolint.asthelpers import (
+    attribute_chain,
+    callable_bare_name,
+    submission_method,
+)
 
 
 @dataclass
@@ -28,6 +32,22 @@ class ImportBinding:
     binding: str  # the local name bound in this module
     module: str  # resolved source module (dotted)
     name: Optional[str]  # the imported member, None for whole-module imports
+    lineno: int
+
+
+@dataclass(frozen=True)
+class SubmissionEdge:
+    """One executor hand-off: ``module`` submits ``callee`` at ``lineno``.
+
+    ``callee`` is the qualified ``module.func`` when the callable resolves
+    to a project definition or a ``from``-import, otherwise the bare name
+    (bound methods, lambdas, dynamically built callables).
+    """
+
+    module: str
+    callee: str
+    bare_name: str
+    method: str  # "submit" | "map"
     lineno: int
 
 
@@ -47,6 +67,11 @@ class ModuleInfo:
     #: ``(root_binding, attr)`` pairs for every two-level attribute access,
     #: used to resolve ``module.member`` references.
     attribute_uses: Set[Tuple[str, str]] = field(default_factory=set)
+    #: raw ``<pool>.submit/map`` sites: (callable node, method, lineno);
+    #: resolved into :class:`SubmissionEdge` objects during finalize.
+    submission_calls: List[Tuple[ast.AST, str, int]] = field(
+        default_factory=list
+    )
 
     @property
     def is_package_init(self) -> bool:
@@ -110,6 +135,12 @@ def _collect(info: ModuleInfo) -> None:
                     ImportBinding(
                         alias.asname or alias.name, source, alias.name, node.lineno
                     )
+                )
+        elif isinstance(node, ast.Call):
+            method = submission_method(node)
+            if method is not None:
+                info.submission_calls.append(
+                    (node.args[0], method, node.lineno)
                 )
         elif isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
             info.used_names.add(node.id)
@@ -196,6 +227,31 @@ class ProjectIndex:
                 if target in self.modules:
                     self._consumed.add((target, attr))
 
+        # Executor hand-offs: which callables run on pool workers.
+        self._submission_edges: List[SubmissionEdge] = []
+        for name, info in self.modules.items():
+            from_imports = {
+                imp.binding: f"{imp.module}.{imp.name}"
+                for imp in info.imports
+                if imp.name is not None
+            }
+            module_imports = {
+                imp.binding: imp.module
+                for imp in info.imports
+                if imp.name is None
+            }
+            for callable_node, method, lineno in info.submission_calls:
+                bare = callable_bare_name(callable_node) or "<unknown>"
+                callee = (
+                    self._resolve_call(
+                        callable_node, name, info, from_imports, module_imports
+                    )
+                    or bare
+                )
+                self._submission_edges.append(
+                    SubmissionEdge(name, callee, bare, method, lineno)
+                )
+
     # -- import graph ------------------------------------------------------
 
     def import_graph(self) -> Dict[str, Set[str]]:
@@ -238,6 +294,26 @@ class ProjectIndex:
             seen.add(step)
             current = step
         return path
+
+    # -- submission edges --------------------------------------------------
+
+    def submission_edges(self) -> List[SubmissionEdge]:
+        """Every ``<pool>.submit/map`` hand-off seen across the project."""
+        return list(self._submission_edges)
+
+    def submitted_callables(self) -> Set[str]:
+        """Names known to run on executor workers somewhere in the project.
+
+        Contains both qualified (``module.func``) and bare names; bound
+        methods only contribute their bare attribute name, so membership
+        checks on bare names over-approximate (by design — RL804 treats a
+        name collision as a reason to look, not proof of a defect).
+        """
+        out: Set[str] = set()
+        for edge in self._submission_edges:
+            out.add(edge.callee)
+            out.add(edge.bare_name)
+        return out
 
     # -- exports -----------------------------------------------------------
 

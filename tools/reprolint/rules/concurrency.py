@@ -1,0 +1,876 @@
+"""RL8xx — concurrency & shared-state rules over escape + lock analyses.
+
+PRs 6–7 made the hot path genuinely concurrent (thread pool, shared-
+memory process pool, LRU client pool, thread-local telemetry state)
+while the headline guarantee stayed *bit-identical results across all
+four executors*.  These rules statically police the invariants that
+guarantee rests on:
+
+* **Lock discipline** (RL800) — a per-class map of which ``self``
+  attributes are mutated under ``with self._lock`` and which are not;
+  mixing the two silently races under any concurrent caller.
+* **Escape analysis** (RL801/RL803/RL804) — which values flow into
+  closures/arguments submitted via ``Executor.submit``/``map``
+  (:meth:`tools.reprolint.dataflow.ScopeAnalysis.submission_sites`, plus
+  the project-wide submission edges on
+  :class:`tools.reprolint.projectindex.ProjectIndex`).  An RNG stream
+  captured by two tasks makes draw order scheduling-dependent; an
+  ndarray mutated in-place after escaping is a data race; a
+  ``threading.local`` read inside a submitted callable sees a fresh,
+  empty instance on the worker thread.
+* **Resource paths** (RL802) — every CFG path from a
+  ``shared_memory.SharedMemory(...)`` construction to scope exit
+  (exception edges included) must release the handle
+  (``close``/``unlink``) or transfer ownership (return it, store it,
+  pass it on).
+* **Iteration order** (RL805) — aggregating over an unordered
+  collection (set literals/comprehensions, ``set()``/``frozenset()``)
+  makes float summation order — and therefore bitwise results — a
+  function of hash seeds and object addresses.
+
+All six rules are heuristic under-approximations tuned for zero false
+positives on this repository; genuinely safe sites that still trip a
+rule should carry a ``# reprolint: disable=RL80x`` comment explaining
+why (see docs/LINTING.md).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from tools.reprolint.asthelpers import attribute_chain
+from tools.reprolint.dataflow import ScopeAnalysis, SubmissionSite
+from tools.reprolint.findings import Finding, Severity
+from tools.reprolint.registry import FileContext, Rule, register
+
+#: provenance kinds that mark a value as an RNG stream
+_RNG_KINDS = ("rng_raw", "rng_blessed")
+
+#: methods that mutate their receiver in place (lists/dicts/sets/arrays)
+_MUTATOR_METHODS = frozenset(
+    {
+        "append",
+        "extend",
+        "insert",
+        "add",
+        "remove",
+        "discard",
+        "pop",
+        "popitem",
+        "clear",
+        "update",
+        "setdefault",
+        "move_to_end",
+        "sort",
+        "reverse",
+        "fill",
+        "partition",
+        "put",
+        "resize",
+    }
+)
+
+#: ndarray in-place methods for RL803 (beyond the shared mutator set)
+_INPLACE_ARRAY_METHODS = frozenset(
+    {"fill", "sort", "partition", "put", "resize", "itemset", "setfield"}
+)
+
+#: aggregation callables whose float result depends on operand order
+_AGGREGATORS = frozenset(
+    {
+        "sum",
+        "fsum",
+        "mean",
+        "average",
+        "dot",
+        "reduce",
+        "prod",
+        "cumsum",
+        "weighted_average",
+        "weighted_mean",
+    }
+)
+
+#: methods constructors named like these are never flagged by RL800
+_CONSTRUCTION_METHODS = frozenset({"__init__", "__new__", "__post_init__"})
+
+
+def _terminal(func: ast.AST) -> Optional[str]:
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Lock-discipline analysis (RL800)
+# ---------------------------------------------------------------------------
+
+
+def _self_lock_name(expr: ast.AST) -> Optional[str]:
+    """``_lock`` for ``self._lock`` (any attr containing "lock")."""
+    if (
+        isinstance(expr, ast.Attribute)
+        and isinstance(expr.value, ast.Name)
+        and expr.value.id == "self"
+        and "lock" in expr.attr.lower()
+    ):
+        return expr.attr
+    return None
+
+
+class _AttrWrite:
+    __slots__ = ("attr", "node", "method", "lock")
+
+    def __init__(
+        self, attr: str, node: ast.AST, method: str, lock: Optional[str]
+    ) -> None:
+        self.attr = attr
+        self.node = node
+        self.method = method
+        self.lock = lock  # guarding lock attr name, None when unguarded
+
+
+class _LockDisciplineVisitor(ast.NodeVisitor):
+    """Collect ``self.<attr>`` mutations in one method, lock-aware.
+
+    Guardedness is lexical: a write inside ``with self.<*lock*>:`` is
+    guarded by that lock.  ``acquire()``/``release()`` pairs are not
+    modelled (this codebase uses ``with`` exclusively).
+    """
+
+    def __init__(self, method_name: str) -> None:
+        self.method = method_name
+        self.writes: List[_AttrWrite] = []
+        self._locks: List[str] = []
+
+    def visit_With(self, node: ast.With) -> None:
+        held = [
+            name
+            for item in node.items
+            if (name := _self_lock_name(item.context_expr)) is not None
+        ]
+        self._locks.extend(held)
+        self.generic_visit(node)
+        if held:
+            del self._locks[-len(held):]
+
+    visit_AsyncWith = visit_With
+
+    def _record(self, attr: str, node: ast.AST) -> None:
+        lock = self._locks[-1] if self._locks else None
+        self.writes.append(_AttrWrite(attr, node, self.method, lock))
+
+    def _record_target(self, target: ast.AST, node: ast.AST) -> None:
+        if isinstance(target, ast.Attribute):
+            if isinstance(target.value, ast.Name) and target.value.id == "self":
+                self._record(target.attr, node)
+        elif isinstance(target, ast.Subscript):
+            base = target.value
+            if (
+                isinstance(base, ast.Attribute)
+                and isinstance(base.value, ast.Name)
+                and base.value.id == "self"
+            ):
+                self._record(base.attr, node)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._record_target(elt, node)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._record_target(target, node)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._record_target(node.target, node)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is not None:
+            self._record_target(node.target, node)
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in _MUTATOR_METHODS
+            and isinstance(func.value, ast.Attribute)
+            and isinstance(func.value.value, ast.Name)
+            and func.value.value.id == "self"
+        ):
+            self._record(func.value.attr, node)
+        self.generic_visit(node)
+
+
+def class_lock_discipline(
+    classdef: ast.ClassDef,
+) -> Dict[str, List[_AttrWrite]]:
+    """Per-attribute write records over the class's non-constructor methods."""
+    writes: Dict[str, List[_AttrWrite]] = {}
+    for stmt in classdef.body:
+        if not isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        if stmt.name in _CONSTRUCTION_METHODS:
+            continue  # construction happens-before publication
+        visitor = _LockDisciplineVisitor(stmt.name)
+        visitor.visit(stmt)
+        for write in visitor.writes:
+            writes.setdefault(write.attr, []).append(write)
+    return writes
+
+
+@register
+class MixedLockDisciplineRule(Rule):
+    """RL800: attribute written both under and outside its guarding lock."""
+
+    rule_id = "RL800"
+    family = "concurrency"
+    severity = Severity.ERROR
+    description = (
+        "A shared mutable attribute is written both inside and outside "
+        "'with self._lock' blocks; the unguarded write races with every "
+        "guarded one."
+    )
+
+    def check(self, tree: ast.AST, ctx: FileContext) -> Iterable[Finding]:
+        if ctx.module_name is None:
+            return
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            for attr, writes in sorted(class_lock_discipline(node).items()):
+                guarded = [w for w in writes if w.lock is not None]
+                unguarded = [w for w in writes if w.lock is None]
+                if not guarded or not unguarded:
+                    continue
+                first = min(unguarded, key=lambda w: w.node.lineno)
+                locked = min(guarded, key=lambda w: w.node.lineno)
+                yield self.make_finding(
+                    ctx,
+                    first.node,
+                    f"self.{attr} is written under self.{locked.lock} in "
+                    f"{node.name}.{locked.method} (line "
+                    f"{locked.node.lineno}) but without it here in "
+                    f"{node.name}.{first.method}; hold the lock for every "
+                    "write or document why this one cannot race",
+                    attribute=attr,
+                    lock=locked.lock,
+                    guarded_line=locked.node.lineno,
+                )
+
+
+# ---------------------------------------------------------------------------
+# RNG capture across executor boundaries (RL801)
+# ---------------------------------------------------------------------------
+
+
+def _rebound_in(loop: ast.AST, name: str) -> bool:
+    """Is ``name`` rebound anywhere inside ``loop``'s subtree?
+
+    Loop targets, plain/augmented/annotated assignments, and ``with``
+    as-bindings all count.  The walk includes nested defs — an over-
+    approximation that only ever produces *fewer* findings.
+    """
+    for sub in ast.walk(loop):
+        targets: List[ast.AST] = []
+        if isinstance(sub, (ast.For, ast.AsyncFor)):
+            targets = [sub.target]
+        elif isinstance(sub, ast.Assign):
+            targets = list(sub.targets)
+        elif isinstance(sub, (ast.AugAssign, ast.AnnAssign)):
+            targets = [sub.target]
+        elif isinstance(sub, (ast.With, ast.AsyncWith)):
+            targets = [
+                item.optional_vars
+                for item in sub.items
+                if item.optional_vars is not None
+            ]
+        for target in targets:
+            for part in ast.walk(target):
+                if isinstance(part, ast.Name) and part.id == name:
+                    return True
+    return False
+
+
+@register
+class SharedRngCaptureRule(Rule):
+    """RL801: one RNG stream captured by more than one submitted task."""
+
+    rule_id = "RL801"
+    family = "concurrency"
+    severity = Severity.ERROR
+    description = (
+        "An np.random.Generator is captured by multiple executor tasks "
+        "(or by every iteration of a submission loop); concurrent draws "
+        "make results scheduling-dependent — derive one stream per task."
+    )
+
+    def check(self, tree: ast.AST, ctx: FileContext) -> Iterable[Finding]:
+        if ctx.module_name is None:
+            return
+        for scope in ctx.dataflow().scopes:
+            yield from self._check_scope(ctx, scope)
+
+    def _check_scope(
+        self, ctx: FileContext, scope: ScopeAnalysis
+    ) -> Iterable[Finding]:
+        sites = scope.submission_sites()
+        if not sites:
+            return
+        # (name, creation line) -> capturing (site, Name) pairs.  The
+        # origin line identifies the *object*: a reassignment between two
+        # submissions changes the origin, so distinct generators reused
+        # under one variable name do not alias into a false positive.
+        captures: Dict[
+            Tuple[str, int], List[Tuple[SubmissionSite, ast.Name]]
+        ] = {}
+        for site in sites:
+            seen: Set[Tuple[str, int]] = set()
+            for name_node in site.captured:
+                origins = {
+                    v.origin_line
+                    for v in scope.provenance(name_node)
+                    if v.kind in _RNG_KINDS
+                }
+                for origin in origins:
+                    key = (name_node.id, origin)
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                    captures.setdefault(key, []).append((site, name_node))
+        flagged: Set[str] = set()
+        for (name, origin), entries in sorted(captures.items()):
+            if name in flagged:
+                continue
+            if len(entries) >= 2:
+                flagged.add(name)
+                _, name_node = entries[1]
+                yield self.make_finding(
+                    ctx,
+                    name_node,
+                    f"RNG stream '{name}' (created at line {origin}) is "
+                    f"captured by {len(entries)} submitted tasks; "
+                    "concurrent tasks sharing one Generator make draw "
+                    "order scheduling-dependent — derive a per-task "
+                    "stream (repro.utils.rng.derive_generator)",
+                    name=name,
+                    origin_line=origin,
+                    capture_count=len(entries),
+                )
+                continue
+            site, name_node = entries[0]
+            if not site.loops:
+                continue
+            loop = site.loops[-1]
+            loop_end = getattr(loop, "end_lineno", loop.lineno) or loop.lineno
+            created_in_loop = loop.lineno <= origin <= loop_end
+            if created_in_loop or _rebound_in(loop, name):
+                continue  # fresh stream per iteration: the correct idiom
+            flagged.add(name)
+            yield self.make_finding(
+                ctx,
+                name_node,
+                f"RNG stream '{name}' (created at line {origin}, outside "
+                f"the loop at line {loop.lineno}) is captured by every "
+                "task this loop submits; all tasks share one Generator — "
+                "derive a per-task stream "
+                "(repro.utils.rng.derive_generator)",
+                name=name,
+                origin_line=origin,
+                loop_line=loop.lineno,
+            )
+
+
+# ---------------------------------------------------------------------------
+# SharedMemory release on every CFG path (RL802)
+# ---------------------------------------------------------------------------
+
+
+def _sharedmemory_assignment(unit: ast.stmt) -> Optional[str]:
+    """Bound name when ``unit`` is ``x = SharedMemory(...)``."""
+    if isinstance(unit, ast.Assign) and len(unit.targets) == 1:
+        target, value = unit.targets[0], unit.value
+    elif isinstance(unit, ast.AnnAssign) and unit.value is not None:
+        target, value = unit.target, unit.value
+    else:
+        return None
+    if (
+        isinstance(target, ast.Name)
+        and isinstance(value, ast.Call)
+        and _terminal(value.func) == "SharedMemory"
+    ):
+        return target.id
+    return None
+
+
+def _unit_effect(unit: ast.stmt, var: str, creation: ast.stmt) -> Optional[str]:
+    """How ``unit`` affects the tracked handle ``var``.
+
+    ``"release"`` — calls ``var.close()`` or ``var.unlink()``;
+    ``"transfer"`` — rebinds ``var`` or uses it as a bare value (stored,
+    returned, passed along: ownership leaves this scope's control);
+    ``None`` — no effect (attribute reads like ``var.buf`` included).
+    """
+    if unit is creation:
+        return None
+    parents: Dict[int, ast.AST] = {}
+    for node in ast.walk(unit):
+        for child in ast.iter_child_nodes(node):
+            parents[id(child)] = node
+    for node in ast.walk(unit):
+        if not isinstance(node, ast.Name) or node.id != var:
+            continue
+        if isinstance(node.ctx, ast.Store):
+            return "transfer"  # rebound: the original object is out of reach
+        parent = parents.get(id(node))
+        if isinstance(parent, ast.Attribute):
+            if parent.attr in ("close", "unlink"):
+                grand = parents.get(id(parent))
+                if isinstance(grand, ast.Call) and grand.func is parent:
+                    return "release"
+            continue  # plain attribute read (.buf, .name): not a transfer
+        if isinstance(parent, ast.Delete):
+            return "transfer"
+        return "transfer"  # bare use: arg, return element, alias, container
+    return None
+
+
+def _is_handler_block(units: List[ast.stmt]) -> bool:
+    return bool(units) and isinstance(units[0], ast.ExceptHandler)
+
+
+def _leaking_path_exists(
+    scope: ScopeAnalysis, creation: ast.stmt, var: str
+) -> bool:
+    """Does some CFG path from ``creation`` reach scope exit unreleased?"""
+    cfg = scope.cfg
+    start_bid = start_idx = None
+    for bid, block in cfg.blocks.items():
+        for i, unit in enumerate(block.units):
+            if unit is creation:
+                start_bid, start_idx = bid, i + 1
+                break
+        if start_bid is not None:
+            break
+    if start_bid is None:  # pragma: no cover - creation outside the CFG
+        return False
+    seen: Set[int] = set()
+    stack: List[Tuple[int, int]] = [(start_bid, start_idx)]
+    while stack:
+        bid, idx = stack.pop()
+        block = cfg.blocks[bid]
+        effect = None
+        for unit in block.units[idx:]:
+            effect = _unit_effect(unit, var, creation)
+            if effect is not None:
+                break
+        if effect is None:
+            if bid == cfg.exit:
+                return True
+            for succ in block.succ:
+                if succ not in seen:
+                    seen.add(succ)
+                    stack.append((succ, 0))
+            continue
+        # Released/transferred on the straight-line path — but any unit
+        # before the release may raise, so exception successors (handler
+        # entry blocks) still need the handle released on their paths.
+        for succ in block.succ:
+            if succ in seen:
+                continue
+            if _is_handler_block(cfg.blocks[succ].units):
+                seen.add(succ)
+                stack.append((succ, 0))
+    return False
+
+
+@register
+class SharedMemoryReleaseRule(Rule):
+    """RL802: SharedMemory handle not released on every CFG path."""
+
+    rule_id = "RL802"
+    family = "concurrency"
+    severity = Severity.ERROR
+    description = (
+        "A shared_memory.SharedMemory(...) handle must reach close()/"
+        "unlink() (or have its ownership transferred) on every CFG path, "
+        "exception edges included; a leaked segment survives the process."
+    )
+
+    def check(self, tree: ast.AST, ctx: FileContext) -> Iterable[Finding]:
+        if ctx.module_name is None:
+            return
+        for scope in ctx.dataflow().scopes:
+            for block in scope.cfg.blocks.values():
+                for unit in block.units:
+                    var = _sharedmemory_assignment(unit)
+                    if var is None:
+                        continue
+                    if _leaking_path_exists(scope, unit, var):
+                        yield self.make_finding(
+                            ctx,
+                            unit,
+                            f"SharedMemory handle '{var}' is not closed/"
+                            "unlinked (or ownership-transferred) on every "
+                            "path out of this scope — an exception or "
+                            "early return here orphans the segment until "
+                            "reboot; close it in a finally block or hand "
+                            "it to an owning container",
+                            handle=var,
+                        )
+
+
+# ---------------------------------------------------------------------------
+# In-place mutation of executor-escaped arrays (RL803)
+# ---------------------------------------------------------------------------
+
+
+class _MutationScanner(ast.NodeVisitor):
+    """In-place mutations of bare names in one scope (nested defs skipped)."""
+
+    def __init__(self) -> None:
+        self.mutations: List[Tuple[str, ast.AST, str]] = []
+
+    def visit_FunctionDef(self, node: ast.AST) -> None:
+        return None
+
+    visit_AsyncFunctionDef = visit_FunctionDef
+    visit_ClassDef = visit_FunctionDef
+    visit_Lambda = visit_FunctionDef
+
+    def _subscript_base(self, target: ast.AST) -> Optional[str]:
+        if isinstance(target, ast.Subscript) and isinstance(
+            target.value, ast.Name
+        ):
+            return target.value.id
+        return None
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            base = self._subscript_base(target)
+            if base is not None:
+                self.mutations.append((base, node, "subscript store"))
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        if isinstance(node.target, ast.Name):
+            self.mutations.append(
+                (node.target.id, node, "augmented assignment")
+            )
+        else:
+            base = self._subscript_base(node.target)
+            if base is not None:
+                self.mutations.append((base, node, "augmented subscript"))
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute) and isinstance(
+            func.value, ast.Name
+        ):
+            attr = func.attr
+            if attr in _INPLACE_ARRAY_METHODS or (
+                attr.endswith("_") and not attr.startswith("_")
+            ):
+                self.mutations.append(
+                    (func.value.id, node, f".{attr}() call")
+                )
+        for kw in node.keywords:
+            if kw.arg == "out" and isinstance(kw.value, ast.Name):
+                self.mutations.append(
+                    (kw.value.id, node, "out= argument")
+                )
+        self.generic_visit(node)
+
+
+@register
+class EscapedArrayMutationRule(Rule):
+    """RL803: in-place mutation of a value escaping into executor tasks."""
+
+    rule_id = "RL803"
+    family = "concurrency"
+    severity = Severity.WARNING
+    description = (
+        "A value submitted to an executor task is mutated in place "
+        "(+=, x[...]=, out=, .fill()/.apply_()) in the submitting scope; "
+        "a pool worker may observe the mutation mid-solve."
+    )
+
+    def check(self, tree: ast.AST, ctx: FileContext) -> Iterable[Finding]:
+        if ctx.module_name is None:
+            return
+        for scope in ctx.dataflow().scopes:
+            yield from self._check_scope(ctx, scope)
+
+    def _check_scope(
+        self, ctx: FileContext, scope: ScopeAnalysis
+    ) -> Iterable[Finding]:
+        sites = scope.submission_sites()
+        if not sites:
+            return
+        first_capture: Dict[str, int] = {}
+        capture_loops: Dict[str, List[ast.stmt]] = {}
+        for site in sites:
+            for name_node in site.captured:
+                line = site.call.lineno
+                prev = first_capture.get(name_node.id)
+                if prev is None or line < prev:
+                    first_capture[name_node.id] = line
+                capture_loops.setdefault(name_node.id, []).extend(site.loops)
+        scanner = _MutationScanner()
+        for stmt in scope.body:
+            scanner.visit(stmt)
+        reported: Set[Tuple[str, int]] = set()
+        for name, node, how in scanner.mutations:
+            if name not in first_capture:
+                continue
+            line = getattr(node, "lineno", 0)
+            after_capture = line > first_capture[name]
+            in_capture_loop = any(
+                loop.lineno
+                <= line
+                <= (getattr(loop, "end_lineno", loop.lineno) or loop.lineno)
+                for loop in capture_loops.get(name, ())
+            )
+            if not (after_capture or in_capture_loop):
+                continue  # mutation fully precedes every escape
+            key = (name, line)
+            if key in reported:
+                continue
+            reported.add(key)
+            yield self.make_finding(
+                ctx,
+                node,
+                f"'{name}' escaped into an executor task (first submitted "
+                f"at line {first_capture[name]}) and is mutated in place "
+                f"here ({how}); a worker holding the same object may "
+                "observe the write mid-task — mutate a copy, or move the "
+                "write before any submission",
+                name=name,
+                mutation=how,
+                first_capture_line=first_capture[name],
+            )
+
+
+# ---------------------------------------------------------------------------
+# threading.local state read from submitted callables (RL804)
+# ---------------------------------------------------------------------------
+
+
+def _threadlocal_classes(tree: ast.AST) -> Set[str]:
+    """Names of classes in this file subclassing ``threading.local``."""
+    out: Set[str] = set()
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        for base in node.bases:
+            chain = attribute_chain(base)
+            if chain == ["threading", "local"] or (
+                isinstance(base, ast.Name) and base.id == "local"
+            ):
+                out.add(node.name)
+    return out
+
+
+@register
+class ThreadLocalEscapeRule(Rule):
+    """RL804: threading.local state read inside a submitted callable."""
+
+    rule_id = "RL804"
+    family = "concurrency"
+    severity = Severity.WARNING
+    description = (
+        "A threading.local subclass's state is read inside a function "
+        "that executor workers run; each worker thread sees a fresh, "
+        "empty instance — pass the state explicitly (e.g. a parent "
+        "span) instead."
+    )
+
+    def check(self, tree: ast.AST, ctx: FileContext) -> Iterable[Finding]:
+        if ctx.module_name is None:
+            return
+        tl_classes = _threadlocal_classes(tree)
+        if not tl_classes:
+            return
+        # Instances: module/class-level names and self attributes bound
+        # to a threading.local subclass constructed in this file.
+        instance_names: Set[str] = set()
+        instance_attrs: Set[str] = set()
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Assign):
+                continue
+            value = node.value
+            if not (
+                isinstance(value, ast.Call)
+                and isinstance(value.func, ast.Name)
+                and value.func.id in tl_classes
+            ):
+                continue
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    instance_names.add(target.id)
+                elif (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    instance_attrs.add(target.attr)
+        if not instance_names and not instance_attrs:
+            return
+        submitted = self._submitted_names(ctx)
+        if not submitted:
+            return
+        for node in ast.walk(tree):
+            if not isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                continue
+            qualified = (
+                f"{ctx.module_name}.{node.name}" if ctx.module_name else None
+            )
+            if node.name not in submitted and qualified not in submitted:
+                continue
+            for read in self._threadlocal_reads(
+                node, instance_names, instance_attrs
+            ):
+                yield self.make_finding(
+                    ctx,
+                    read,
+                    f"'{node.name}' runs on executor workers (it is "
+                    "submitted to a pool) but reads threading.local state "
+                    "here; worker threads see a fresh, empty instance — "
+                    "pass the state in explicitly",
+                    function=node.name,
+                )
+
+    @staticmethod
+    def _submitted_names(ctx: FileContext) -> Set[str]:
+        names: Set[str] = set()
+        for _, site in ctx.dataflow().submission_sites():
+            if site.callable_name:
+                names.add(site.callable_name)
+        if ctx.index is not None:
+            names |= ctx.index.submitted_callables()
+        return names
+
+    @staticmethod
+    def _threadlocal_reads(
+        func: ast.AST, instance_names: Set[str], instance_attrs: Set[str]
+    ) -> List[ast.AST]:
+        reads: List[ast.AST] = []
+        for node in ast.walk(func):
+            if not isinstance(node, ast.Attribute) or not isinstance(
+                node.ctx, ast.Load
+            ):
+                continue
+            base = node.value
+            if isinstance(base, ast.Name) and base.id in instance_names:
+                reads.append(node)
+            elif (
+                isinstance(base, ast.Attribute)
+                and isinstance(base.value, ast.Name)
+                and base.value.id == "self"
+                and base.attr in instance_attrs
+            ):
+                reads.append(node)
+        return reads
+
+
+# ---------------------------------------------------------------------------
+# Unordered iteration feeding aggregation (RL805)
+# ---------------------------------------------------------------------------
+
+
+def _is_unordered(ctx: FileContext, expr: ast.AST) -> bool:
+    return any(
+        v.kind == "unordered" for v in ctx.dataflow().provenance(expr)
+    )
+
+
+def _body_aggregates(body: List[ast.stmt]) -> Optional[ast.AST]:
+    """First aggregation-ish node in a loop body (nested defs skipped)."""
+
+    class _Scan(ast.NodeVisitor):
+        found: Optional[ast.AST] = None
+
+        def visit_FunctionDef(self, node: ast.AST) -> None:
+            return None
+
+        visit_AsyncFunctionDef = visit_FunctionDef
+        visit_Lambda = visit_FunctionDef
+
+        def visit_AugAssign(self, node: ast.AugAssign) -> None:
+            if self.found is None:
+                self.found = node
+            self.generic_visit(node)
+
+        def visit_Call(self, node: ast.Call) -> None:
+            if self.found is None and _terminal(node.func) in _AGGREGATORS:
+                self.found = node
+            self.generic_visit(node)
+
+    scanner = _Scan()
+    for stmt in body:
+        scanner.visit(stmt)
+    return scanner.found
+
+
+@register
+class UnorderedAggregationRule(Rule):
+    """RL805: iteration over an unordered collection feeds aggregation."""
+
+    rule_id = "RL805"
+    family = "concurrency"
+    severity = Severity.WARNING
+    description = (
+        "Accumulating over a set/frozenset iterates in hash order (object "
+        "ids, interpreter salt); float summation order then varies run to "
+        "run — a bit-identity hazard.  Sort first, or use a list/array."
+    )
+
+    def check(self, tree: ast.AST, ctx: FileContext) -> Iterable[Finding]:
+        if ctx.module_name is None:
+            return
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                if not _is_unordered(ctx, node.iter):
+                    continue
+                hit = _body_aggregates(node.body)
+                if hit is not None:
+                    yield self.make_finding(
+                        ctx,
+                        node,
+                        "this loop iterates an unordered collection and "
+                        f"accumulates (line {hit.lineno}); iteration order "
+                        "follows hashes, so float accumulation is not "
+                        "bit-stable — iterate sorted(...) or a list",
+                        aggregation_line=hit.lineno,
+                    )
+            elif isinstance(node, ast.Call):
+                if _terminal(node.func) not in _AGGREGATORS:
+                    continue
+                for arg in node.args:
+                    target: Optional[ast.AST] = None
+                    if isinstance(
+                        arg, (ast.GeneratorExp, ast.ListComp, ast.SetComp)
+                    ):
+                        for gen in arg.generators:
+                            if _is_unordered(ctx, gen.iter):
+                                target = gen.iter
+                                break
+                    elif _is_unordered(ctx, arg):
+                        target = arg
+                    if target is not None:
+                        yield self.make_finding(
+                            ctx,
+                            node,
+                            f"{_terminal(node.func)}(...) aggregates over "
+                            "an unordered collection; float reduction "
+                            "order follows hashes, so the result is not "
+                            "bit-stable — sort first or use a list",
+                        )
+                        break

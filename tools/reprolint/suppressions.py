@@ -11,12 +11,15 @@ the enclosing *simple* statement's ``lineno..end_lineno`` span
 suppresses matching findings on every line of that statement, so a
 comment on the first line of a multi-line call covers findings the
 rules report on its continuation lines.  For compound statements
-(``if``/``for``/``with``/``def``…) only the header span counts — a
-comment on the ``if`` line can never silently cover the body.
+(``if``/``for``/``with``/``def``…) a comment on a *header* line covers
+the whole statement — header and body — because rules routinely anchor
+a finding about the construct (an unguarded branch, a loop's
+aggregation) to a body line the author cannot comment more precisely;
+comments *inside* the body still scope to their own statement only.
 
 There are deliberately no file- or block-scoped pragmas: the comment
-documents — right where the violation sits — why the invariant does not
-apply, and cannot grow to cover new code.
+documents — at the construct it excuses — why the invariant does not
+apply, and cannot grow past the annotated statement to cover new code.
 """
 
 from __future__ import annotations
@@ -73,15 +76,18 @@ def _header_end(node: ast.stmt) -> int:
     return end
 
 
-def statement_spans(tree: ast.AST) -> List[Tuple[int, int]]:
-    """``(start, end)`` line spans that one disable comment covers.
+def statement_spans(tree: ast.AST) -> List[Tuple[int, int, int]]:
+    """``(start, comment_end, cover_end)`` spans per statement.
 
-    Simple statements span their whole ``lineno..end_lineno``; compound
-    statements contribute only their header span.  Decorated defs extend
-    the span upward to the first decorator so a comment on the decorator
+    Disable comments are *read* from ``start..comment_end`` and
+    *applied* to ``start..cover_end``.  For simple statements the two
+    ends coincide (the whole ``lineno..end_lineno`` span); for compound
+    statements comments count only on the header lines but cover the
+    statement's full extent, body included.  Decorated defs extend the
+    span upward to the first decorator so a comment on the decorator
     line covers the ``def`` line's findings.
     """
-    spans: List[Tuple[int, int]] = []
+    spans: List[Tuple[int, int, int]] = []
     for node in ast.walk(tree):
         if not isinstance(node, ast.stmt):
             continue
@@ -89,13 +95,14 @@ def statement_spans(tree: ast.AST) -> List[Tuple[int, int]]:
         if end is None:  # pragma: no cover - py<3.8 only
             continue
         start = node.lineno
+        comment_end = end
         if isinstance(node, _COMPOUND):
             if isinstance(
                 node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
             ) and node.decorator_list:
                 start = min(d.lineno for d in node.decorator_list)
-            end = _header_end(node)
-        spans.append((start, end))
+            comment_end = _header_end(node)
+        spans.append((start, comment_end, end))
     return spans
 
 
@@ -112,14 +119,14 @@ class SuppressionIndex:
             k: set(v) for k, v in self._per_line.items()
         }
         if tree is not None and self._per_line:
-            for start, end in statement_spans(tree):
-                if end <= start:
+            for start, comment_end, cover_end in statement_spans(tree):
+                if cover_end <= start:
                     continue
                 merged: Set[str] = set()
-                for line_no in range(start, end + 1):
+                for line_no in range(start, comment_end + 1):
                     merged |= self._per_line.get(line_no, set())
                 if merged:
-                    for line_no in range(start, end + 1):
+                    for line_no in range(start, cover_end + 1):
                         self._effective.setdefault(line_no, set()).update(merged)
 
     def disabled_at(self, lineno: int) -> Set[str]:
