@@ -98,12 +98,15 @@ class NumpyBackend(ArrayBackend):
     def __init__(self) -> None:
         self._pool = ScratchPool()
 
+    # shape: a (m, n) float64, b (n, p) float64 -> (m, p) float64
     def matmul(self, a, b, out=None):
         return np.matmul(a, b, out=out)
 
+    # shape: a (K, m, n) float64, b (K, n, p) float64 -> (K, m, p) float64
     def batched_matmul(self, a, b, out=None):
         return np.matmul(a, b, out=out)
 
+    # shape: src (N, D), indices (B,) -> (B, D)
     def gather_rows(self, src, indices, out=None):
         return np.take(src, indices, axis=0, out=out)
 

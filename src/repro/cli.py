@@ -270,6 +270,8 @@ def cmd_lint(args) -> int:
         argv.append("--dry-run")
     if args.jobs != 1:
         argv += ["--jobs", str(args.jobs)]
+    if args.changed is not None:
+        argv += ["--changed", args.changed]
     if args.list_rules:
         argv.append("--list-rules")
     return reprolint_main(argv)
@@ -346,6 +348,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="accept current findings into the baseline")
     p_lint.add_argument("--jobs", type=int, default=1,
                         help="analyze files on N threads (default 1: serial)")
+    p_lint.add_argument("--changed", nargs="?", const="origin/main",
+                        default=None, metavar="REF",
+                        help="lint only files changed vs REF (default "
+                             "origin/main when the flag is bare)")
     p_lint.add_argument("--list-rules", action="store_true",
                         help="print every rule and exit")
     p_lint.set_defaults(func=cmd_lint)

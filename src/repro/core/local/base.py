@@ -159,9 +159,10 @@ class LocalSolver(ABC):
         consumed, matching ``_sample_batch``'s full-shard branch).
         """
         size = X_out.shape[1]
+        full_idx = np.arange(size)  # shared by every full-shard gather
         for k, (X, y) in enumerate(shards):
             if size == X.shape[0]:
-                idx = np.arange(size)
+                idx = full_idx
             else:
                 idx = rngs[k].choice(X.shape[0], size=size, replace=False)
             X.take(idx, axis=0, out=X_out[k])

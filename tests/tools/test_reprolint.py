@@ -64,7 +64,7 @@ def rule_ids(report):
 
 
 class TestFramework:
-    def test_registry_has_all_eight_families(self):
+    def test_registry_has_all_nine_families(self):
         families = {cls.family for cls in all_rules()}
         assert families == {
             "layering",
@@ -75,6 +75,7 @@ class TestFramework:
             "provenance",
             "hygiene",
             "concurrency",
+            "arrays",
         }
 
     def test_rule_ids_unique_and_documented(self):
@@ -690,7 +691,7 @@ class TestConfig:
         assert config.layers["repro.core"] == 2
         assert set(config.enabled_families) == {
             "layering", "rng", "dtype", "safety", "theory",
-            "provenance", "hygiene", "concurrency",
+            "provenance", "hygiene", "concurrency", "arrays",
         }
         assert config.layer_of("repro.core.local.proxvr") == 2
         assert config.layer_of("repro.unmapped_new_module") == 99

@@ -1,0 +1,960 @@
+"""Tests for the RL9xx shape/dtype domain (tools/reprolint/shapes.py),
+the rules built on it (tools/reprolint/rules/arrays.py), the RL404
+positive-provenance refinement, the ``--changed`` scoping helpers, and
+the SARIF help metadata.
+
+Mirrors the fixture idiom of test_reprolint.py: tiny synthetic source
+trees are written under tmp_path and linted with a family-scoped
+config, so every assertion names the rule and line it expects.
+"""
+
+import json
+import subprocess
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from tools.reprolint import LintConfig, lint_paths
+from tools.reprolint.cli import changed_python_files
+from tools.reprolint.registry import all_rules
+from tools.reprolint.reporters import (
+    render_sarif,
+    rule_full_description,
+    rule_help_uri,
+)
+from tools.reprolint.shapes import (
+    DIM_TOP,
+    DTYPE_TOP,
+    BroadcastOutcome,
+    ModuleShapes,
+    array_val,
+    broadcast_shapes,
+    dim_join,
+    dims_equal_provable,
+    format_shape,
+    join_arrays,
+    lit,
+    matmul_shapes,
+    parse_annotation_line,
+    promote_dtypes,
+    sym,
+    true_divide_dtype,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def make_tree(root: Path, files: dict, families=("arrays",), **kwargs) -> LintConfig:
+    for rel, body in files.items():
+        path = root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(body), encoding="utf-8")
+    return LintConfig(root=root, enabled_families=list(families), **kwargs)
+
+
+def run_lint(root: Path, files: dict, families=("arrays",), **kwargs):
+    config = make_tree(root, files, families, **kwargs)
+    return lint_paths([root / "src"], config), config
+
+
+def findings_for(report, rule_id):
+    return [f for f in report.findings if f.rule_id == rule_id]
+
+
+def analyze(source: str) -> ModuleShapes:
+    import ast
+
+    src = textwrap.dedent(source)
+    return ModuleShapes(ast.parse(src), src.splitlines())
+
+
+# ---------------------------------------------------------------------------
+# Domain units
+# ---------------------------------------------------------------------------
+
+
+class TestDims:
+    def test_join_equal_literals(self):
+        assert dim_join(lit(3), lit(3)) == lit(3)
+
+    def test_join_conflicting_literals_is_top(self):
+        assert dim_join(lit(3), lit(4)) == DIM_TOP
+
+    def test_join_matching_syms(self):
+        assert dim_join(sym("K"), sym("K")) == sym("K")
+
+    def test_join_mismatched_syms_is_top(self):
+        assert dim_join(sym("K"), sym("D")) == DIM_TOP
+
+    def test_provable_equality(self):
+        assert dims_equal_provable(lit(3), lit(3)) is True
+        assert dims_equal_provable(lit(3), lit(4)) is False
+        assert dims_equal_provable(sym("K"), sym("K")) is True
+        # sym-vs-lit and top are unknowable, not false
+        assert dims_equal_provable(sym("K"), lit(3)) is None
+        assert dims_equal_provable(DIM_TOP, lit(3)) is None
+
+    def test_format_shape(self):
+        assert format_shape((sym("K"), lit(1))) == "(K, 1)"
+        assert format_shape((lit(5),)) == "(5,)"
+        assert format_shape(None) == "(?rank)"
+
+
+class TestBroadcast:
+    def test_plain_broadcast(self):
+        out = broadcast_shapes((sym("K"), lit(1)), (sym("K"), sym("D")))
+        assert not out.mismatch and not out.mutual
+        assert out.shape == (sym("K"), sym("D"))
+
+    def test_scalar_broadcast(self):
+        out = broadcast_shapes((sym("K"), sym("D")), ())
+        assert not out.mismatch and not out.mutual
+        assert out.shape == (sym("K"), sym("D"))
+
+    def test_literal_mismatch(self):
+        out = broadcast_shapes((lit(3), lit(4)), (lit(3), lit(5)))
+        assert out.mismatch
+        assert out.mismatch_axis == 1
+
+    def test_mutual_rank_changing_broadcast(self):
+        # (K, 1) meeting (K,) manufactures (K, K): the RL901 signal.
+        out = broadcast_shapes((sym("K"), lit(1)), (sym("K"),))
+        assert out.mutual and not out.mismatch
+        assert out.shape == (sym("K"), sym("K"))
+
+    def test_same_rank_is_never_mutual(self):
+        out = broadcast_shapes((sym("K"), lit(1)), (sym("K"), sym("D")))
+        assert not out.mutual
+
+    def test_padding_only_is_not_mutual(self):
+        # (K, D) + (D,) is the ordinary row-broadcast idiom.
+        out = broadcast_shapes((sym("K"), sym("D")), (sym("D"),))
+        assert not out.mutual
+        assert out.shape == (sym("K"), sym("D"))
+
+
+class TestMatmul:
+    def test_plain_2d(self):
+        out = matmul_shapes((sym("m"), sym("n")), (sym("n"), sym("p")))
+        assert not out.mismatch
+        assert out.shape == (sym("m"), sym("p"))
+
+    def test_stacked(self):
+        out = matmul_shapes(
+            (sym("K"), sym("m"), sym("n")), (sym("K"), sym("n"), sym("p"))
+        )
+        assert not out.mismatch
+        assert out.shape == (sym("K"), sym("m"), sym("p"))
+
+    def test_inner_dim_literal_conflict(self):
+        out = matmul_shapes((lit(2), lit(3)), (lit(4), lit(5)))
+        assert out.mismatch
+
+    def test_rank0_operand(self):
+        out = matmul_shapes((), (lit(3), lit(3)))
+        assert out.mismatch
+
+    def test_vector_cases(self):
+        out = matmul_shapes((sym("n"),), (sym("n"), sym("p")))
+        assert not out.mismatch
+        assert out.shape == (sym("p"),)
+
+
+class TestDtypes:
+    def test_promote_is_commutative_on_concrete(self):
+        assert promote_dtypes("float64", "float32") == "float64"
+        assert promote_dtypes("float32", "float64") == "float64"
+        assert promote_dtypes("int64", "float32") == "float64"
+
+    def test_weak_scalars_defer_to_array_dtype(self):
+        # NEP-50 style: a python float does not widen float32 arrays.
+        assert promote_dtypes("float32", "weak_float") == "float32"
+        assert promote_dtypes("int64", "weak_int") == "int64"
+        assert promote_dtypes("int64", "weak_float") == "float64"
+
+    def test_top_absorbs(self):
+        assert promote_dtypes("float64", DTYPE_TOP) == DTYPE_TOP
+
+    def test_true_divide(self):
+        assert true_divide_dtype("int64", "int64") == "float64"
+        assert true_divide_dtype("float32", "float32") == "float32"
+
+
+class TestJoinArrays:
+    def test_dimensionwise_join(self):
+        a = array_val((sym("K"), lit(3)), "float64")
+        b = array_val((sym("K"), lit(4)), "float64")
+        j = join_arrays([a, b])
+        assert j.shape == (sym("K"), DIM_TOP)
+        assert j.dtype == "float64"
+
+    def test_rank_conflict_loses_shape(self):
+        a = array_val((sym("K"),), "float64")
+        b = array_val((sym("K"), lit(3)), "float64")
+        assert join_arrays([a, b]).shape is None
+
+
+class TestAnnotationParsing:
+    def test_full_line(self):
+        params, ret = parse_annotation_line(
+            "# shape: W (K, D) float64, y (K, B) int64 -> (K, D) float64"
+        )
+        assert params["W"].dims == (sym("K"), sym("D"))
+        assert params["W"].dtype == "float64"
+        assert params["y"].dtype == "int64"
+        assert ret.dims == (sym("K"), sym("D"))
+        assert ret.dtype == "float64"
+
+    def test_literal_and_unknown_dims(self):
+        params, ret = parse_annotation_line("# shape: cols (B, ?, 3) -> (B,)")
+        assert params["cols"].dims == (sym("B"), DIM_TOP, lit(3))
+        assert ret.dims == (sym("B"),)
+        assert ret.dtype == DTYPE_TOP
+
+    def test_docstring_variant_without_hash(self):
+        params, ret = parse_annotation_line("shape: a (m, n) -> (n, m)")
+        assert params["a"].dims == (sym("m"), sym("n"))
+        assert ret.dims == (sym("n"), sym("m"))
+
+    def test_non_annotation_returns_none(self):
+        assert parse_annotation_line("# not a shape comment") is None
+        assert parse_annotation_line("W: parameter stack") is None
+
+
+# ---------------------------------------------------------------------------
+# Intraprocedural inference
+# ---------------------------------------------------------------------------
+
+
+class TestScopeInference:
+    def test_allocator_and_shape_unpack(self):
+        mod = analyze(
+            """
+            import numpy as np
+
+            # shape: X (K, B, f) float64
+            def f(X):
+                K, B, f = X.shape
+                G = np.zeros((K, B))
+                return G
+            """
+        )
+        scope = mod.scopes[1]
+        ret = scope.cfg and [
+            u for b in scope.cfg.blocks.values() for u in b.units
+        ]
+        import ast as _ast
+
+        ret_stmt = next(u for u in ret if isinstance(u, _ast.Return))
+        val = scope.array_of(ret_stmt.value)
+        assert val.shape == (sym("K"), sym("B"))
+        assert val.dtype == "float64"
+
+    def test_widening_terminates_loop_rebinding(self):
+        # Rebinding through a loop must converge (no infinite iteration)
+        # and keep the consistent dims.
+        mod = analyze(
+            """
+            import numpy as np
+
+            # shape: W (K, D) float64
+            def f(W, n):
+                for _ in range(n):
+                    W = W + 1.0
+                return W
+            """
+        )
+        scope = mod.scopes[1]
+        import ast as _ast
+
+        ret_stmt = next(
+            u
+            for b in scope.cfg.blocks.values()
+            for u in b.units
+            if isinstance(u, _ast.Return)
+        )
+        val = scope.array_of(ret_stmt.value)
+        assert val is not None
+        assert val.shape == (sym("K"), sym("D"))
+
+    def test_call_site_sym_unification(self):
+        # The annotated callee's return dims are substituted with the
+        # caller's bindings: (K, m, n) x (K, n, p) -> (K, m, p).
+        mod = analyze(
+            """
+            import numpy as np
+
+            # shape: a (K, m, n) float64, b (K, n, p) float64 -> (K, m, p) float64
+            def bmm(a, b):
+                return a @ b
+
+            # shape: X (J, R, C) float64, Y (J, C, S) float64
+            def caller(X, Y):
+                out = bmm(X, Y)
+                return out
+            """
+        )
+        scope = mod.scopes[2]
+        import ast as _ast
+
+        ret_stmt = next(
+            u
+            for b in scope.cfg.blocks.values()
+            for u in b.units
+            if isinstance(u, _ast.Return)
+        )
+        val = scope.array_of(ret_stmt.value)
+        assert val is not None
+        assert val.shape == (sym("J"), sym("R"), sym("S"))
+        assert val.dtype == "float64"
+
+
+# ---------------------------------------------------------------------------
+# RL900 — provable shape mismatch
+# ---------------------------------------------------------------------------
+
+
+_RL9_FILES_OK = {
+    "pyproject.toml": "[tool.reprolint]\nsrc-root = 'src'\n",
+}
+
+
+class TestRL900:
+    def test_literal_elementwise_mismatch(self, tmp_path):
+        report, _ = run_lint(
+            tmp_path,
+            {
+                "src/m.py": """
+                import numpy as np
+
+                def f():
+                    a = np.zeros((3, 4))
+                    b = np.zeros((3, 5))
+                    return a + b
+                """,
+            },
+        )
+        found = findings_for(report, "RL900")
+        assert len(found) == 1
+        assert found[0].line == 7
+
+    def test_matmul_inner_dim_mismatch(self, tmp_path):
+        report, _ = run_lint(
+            tmp_path,
+            {
+                "src/m.py": """
+                import numpy as np
+
+                def f():
+                    a = np.zeros((2, 3))
+                    b = np.zeros((4, 5))
+                    return a @ b
+                """,
+            },
+        )
+        assert len(findings_for(report, "RL900")) == 1
+
+    def test_symbolic_kernel_stays_clean(self, tmp_path):
+        # The repo's (K, D)-stack kernel idiom must never fire.
+        report, _ = run_lint(
+            tmp_path,
+            {
+                "src/m.py": """
+                import numpy as np
+
+                # shape: W (K, D) float64, G (K, D) float64, anchor (D,) float64
+                def prox_step(W, G, anchor, eta):
+                    T = W - eta * G
+                    return T - anchor
+                """,
+            },
+        )
+        assert findings_for(report, "RL900") == []
+
+    def test_broadcastable_literals_stay_clean(self, tmp_path):
+        report, _ = run_lint(
+            tmp_path,
+            {
+                "src/m.py": """
+                import numpy as np
+
+                def f():
+                    a = np.zeros((3, 1))
+                    b = np.zeros((3, 5))
+                    return a * b
+                """,
+            },
+        )
+        assert findings_for(report, "RL900") == []
+
+
+# ---------------------------------------------------------------------------
+# RL901 — rank-changing silent broadcast into an accumulation
+# ---------------------------------------------------------------------------
+
+
+class TestRL901:
+    def test_kx1_meets_k_into_sum(self, tmp_path):
+        report, _ = run_lint(
+            tmp_path,
+            {
+                "src/m.py": """
+                import numpy as np
+
+                # shape: w (K, 1) float64, r (K,) float64
+                def f(w, r):
+                    return np.sum(w * r)
+                """,
+            },
+        )
+        found = findings_for(report, "RL901")
+        assert len(found) == 1
+        assert found[0].line == 6
+
+    def test_augassign_accumulation(self, tmp_path):
+        report, _ = run_lint(
+            tmp_path,
+            {
+                "src/m.py": """
+                import numpy as np
+
+                # shape: w (K, 1) float64, r (K,) float64
+                def f(w, r, acc):
+                    acc += w * r
+                    return acc
+                """,
+            },
+        )
+        assert len(findings_for(report, "RL901")) == 1
+
+    def test_plain_expression_not_flagged(self, tmp_path):
+        # Without an accumulation the blowup is visible to the caller;
+        # RL901 stays quiet (RL900 has nothing provable either).
+        report, _ = run_lint(
+            tmp_path,
+            {
+                "src/m.py": """
+                import numpy as np
+
+                # shape: w (K, 1) float64, r (K,) float64
+                def f(w, r):
+                    return w * r
+                """,
+            },
+        )
+        assert findings_for(report, "RL901") == []
+
+    def test_row_broadcast_idiom_not_flagged(self, tmp_path):
+        # (K, D) - (D,): padding-only broadcast, the standard idiom.
+        report, _ = run_lint(
+            tmp_path,
+            {
+                "src/m.py": """
+                import numpy as np
+
+                # shape: W (K, D) float64, anchor (D,) float64
+                def f(W, anchor):
+                    return np.sum(W - anchor)
+                """,
+            },
+        )
+        assert findings_for(report, "RL901") == []
+
+
+# ---------------------------------------------------------------------------
+# RL902 — dtype drift through inferred flow
+# ---------------------------------------------------------------------------
+
+
+class TestRL902:
+    def test_astype_through_variable(self, tmp_path):
+        report, _ = run_lint(
+            tmp_path,
+            {
+                "src/m.py": """
+                import numpy as np
+
+                def f(flag):
+                    dt = np.float32
+                    W = np.zeros((4, 4))
+                    return W.astype(dt)
+                """,
+            },
+        )
+        assert len(findings_for(report, "RL902")) == 1
+
+    def test_literal_astype_is_not_rl902(self, tmp_path):
+        # A literal narrow dtype at the site is RL3xx's business.
+        report, _ = run_lint(
+            tmp_path,
+            {
+                "src/m.py": """
+                import numpy as np
+
+                def f():
+                    W = np.zeros((4, 4))
+                    return W.astype(np.float32)
+                """,
+            },
+        )
+        assert findings_for(report, "RL902") == []
+
+    def test_narrow_out_buffer(self, tmp_path):
+        report, _ = run_lint(
+            tmp_path,
+            {
+                "src/m.py": """
+                import numpy as np
+
+                def f():
+                    a = np.zeros((4, 4))
+                    b = np.zeros((4, 4))
+                    buf = np.empty((4, 4), dtype=np.float32)
+                    return np.add(a, b, out=buf)
+                """,
+            },
+        )
+        assert len(findings_for(report, "RL902")) == 1
+
+    def test_float64_out_buffer_clean(self, tmp_path):
+        report, _ = run_lint(
+            tmp_path,
+            {
+                "src/m.py": """
+                import numpy as np
+
+                def f():
+                    a = np.zeros((4, 4))
+                    b = np.zeros((4, 4))
+                    buf = np.empty((4, 4))
+                    return np.add(a, b, out=buf)
+                """,
+            },
+        )
+        assert findings_for(report, "RL902") == []
+
+
+# ---------------------------------------------------------------------------
+# RL903 — allocation inside a hot loop
+# ---------------------------------------------------------------------------
+
+
+_HOT_KW = dict(hot_path_roots=["solve_cohort", "helper"])
+
+
+class TestRL903:
+    def test_allocation_in_hot_loop(self, tmp_path):
+        report, _ = run_lint(
+            tmp_path,
+            {
+                "src/m.py": """
+                import numpy as np
+
+                def solve_cohort(shards):
+                    for X in shards:
+                        tmp = np.zeros(X.size)
+                        X[:] = tmp
+                """,
+            },
+            **_HOT_KW,
+        )
+        found = findings_for(report, "RL903")
+        assert len(found) == 1
+        assert found[0].line == 6
+
+    def test_hot_closure_via_call_graph(self, tmp_path):
+        # helper() is a root; callee() is hot only through the closure.
+        report, _ = run_lint(
+            tmp_path,
+            {
+                "src/m.py": """
+                import numpy as np
+
+                def callee(items):
+                    for it in items:
+                        buf = np.empty(8)
+                        it.use(buf)
+
+                def helper(items):
+                    return callee(items)
+                """,
+            },
+            **_HOT_KW,
+        )
+        assert len(findings_for(report, "RL903")) == 1
+
+    def test_cold_function_not_flagged(self, tmp_path):
+        report, _ = run_lint(
+            tmp_path,
+            {
+                "src/m.py": """
+                import numpy as np
+
+                def cold(items):
+                    for it in items:
+                        buf = np.empty(8)
+                        it.use(buf)
+                """,
+            },
+            **_HOT_KW,
+        )
+        assert findings_for(report, "RL903") == []
+
+    def test_collect_results_idiom_not_flagged(self, tmp_path):
+        # Allocations that escape into append/return are the point of
+        # the loop, not churn.
+        report, _ = run_lint(
+            tmp_path,
+            {
+                "src/m.py": """
+                import numpy as np
+
+                def solve_cohort(shards):
+                    results = []
+                    for X in shards:
+                        results.append(np.array(X, copy=True))
+                    return results
+
+                def helper(shards):
+                    out = []
+                    for X in shards:
+                        w = np.array(X, dtype=np.float64, copy=True)
+                        out.append(make(w))
+                    return out
+                """,
+            },
+            **_HOT_KW,
+        )
+        assert findings_for(report, "RL903") == []
+
+    def test_allocation_before_loop_not_flagged(self, tmp_path):
+        report, _ = run_lint(
+            tmp_path,
+            {
+                "src/m.py": """
+                import numpy as np
+
+                def solve_cohort(shards, n):
+                    buf = np.empty(8)
+                    for _ in range(n):
+                        buf[:] = 0.0
+                    return buf
+                """,
+            },
+            **_HOT_KW,
+        )
+        assert findings_for(report, "RL903") == []
+
+
+# ---------------------------------------------------------------------------
+# RL904 — annotation contract
+# ---------------------------------------------------------------------------
+
+
+class TestRL904:
+    def test_rank_contradiction(self, tmp_path):
+        report, _ = run_lint(
+            tmp_path,
+            {
+                "src/m.py": """
+                import numpy as np
+
+                # shape: X (K, B) float64 -> (K, B) float64
+                def f(X):
+                    K, B = X.shape
+                    return np.zeros((K, B, 3))
+                """,
+            },
+        )
+        found = findings_for(report, "RL904")
+        assert len(found) == 1
+        assert "rank" in found[0].message
+
+    def test_literal_dim_contradiction(self, tmp_path):
+        report, _ = run_lint(
+            tmp_path,
+            {
+                "src/m.py": """
+                import numpy as np
+
+                # shape: X (K,) float64 -> (K, 3) float64
+                def f(X):
+                    K, = X.shape
+                    return np.zeros((K, 4))
+                """,
+            },
+        )
+        assert len(findings_for(report, "RL904")) == 1
+
+    def test_dtype_contradiction(self, tmp_path):
+        report, _ = run_lint(
+            tmp_path,
+            {
+                "src/m.py": """
+                import numpy as np
+
+                # shape: n ( ) -> (4,) float64
+                def f(n):
+                    return np.zeros(4, dtype=np.int64)
+                """,
+            },
+        )
+        assert len(findings_for(report, "RL904")) == 1
+
+    def test_consistent_annotation_clean(self, tmp_path):
+        report, _ = run_lint(
+            tmp_path,
+            {
+                "src/m.py": """
+                import numpy as np
+
+                # shape: W (K, D) float64, G (K, D) float64 -> (K, D) float64
+                def f(W, G):
+                    return W - G
+                """,
+            },
+        )
+        assert findings_for(report, "RL904") == []
+
+    def test_symbolic_vs_unknown_never_fires(self, tmp_path):
+        report, _ = run_lint(
+            tmp_path,
+            {
+                "src/m.py": """
+                import numpy as np
+
+                # shape: X (N, D) -> (D,)
+                def f(X):
+                    return X.mean(axis=0)
+                """,
+            },
+        )
+        assert findings_for(report, "RL904") == []
+
+
+# ---------------------------------------------------------------------------
+# RL404 refinement regressions (positive provenance + lexical guard)
+# ---------------------------------------------------------------------------
+
+
+_SAFETY_KW = dict(numeric_modules=["m"])
+
+
+def run_safety(tmp_path, body):
+    return run_lint(
+        tmp_path,
+        {"src/m.py": body},
+        families=("safety",),
+        **_SAFETY_KW,
+    )
+
+
+class TestRL404Refinement:
+    def test_check_positive_suppresses(self, tmp_path):
+        report, _ = run_safety(
+            tmp_path,
+            """
+            from repro.utils.validation import check_positive
+
+            def f(x, eta):
+                check_positive("eta", eta)
+                return x / eta
+            """,
+        )
+        assert findings_for(report, "RL404") == []
+
+    def test_len_or_one_suppresses(self, tmp_path):
+        report, _ = run_safety(
+            tmp_path,
+            """
+            def f(x, items):
+                n = len(items) or 1
+                return x / n
+            """,
+        )
+        assert findings_for(report, "RL404") == []
+
+    def test_max_with_positive_floor_suppresses(self, tmp_path):
+        report, _ = run_safety(
+            tmp_path,
+            """
+            def f(x, eps):
+                den = max(eps, 1e-12)
+                return x / den
+            """,
+        )
+        assert findings_for(report, "RL404") == []
+
+    def test_zero_guard_suppresses(self, tmp_path):
+        report, _ = run_safety(
+            tmp_path,
+            """
+            def f(x, n):
+                if n == 0:
+                    return x
+                return x / n
+            """,
+        )
+        assert findings_for(report, "RL404") == []
+
+    def test_le_zero_guard_suppresses(self, tmp_path):
+        report, _ = run_safety(
+            tmp_path,
+            """
+            def f(x, n):
+                if n <= 0:
+                    raise ValueError("n")
+                return x / n
+            """,
+        )
+        assert findings_for(report, "RL404") == []
+
+    def test_unproven_denominator_still_fires(self, tmp_path):
+        report, _ = run_safety(
+            tmp_path,
+            """
+            def f(x, n):
+                return x / n
+            """,
+        )
+        assert len(findings_for(report, "RL404")) == 1
+
+    def test_nonterminating_guard_still_fires(self, tmp_path):
+        # The guard body falls through, so zero still reaches the div.
+        report, _ = run_safety(
+            tmp_path,
+            """
+            def f(x, n):
+                if n == 0:
+                    x = 0.0
+                return x / n
+            """,
+        )
+        assert len(findings_for(report, "RL404")) == 1
+
+    def test_strict_false_check_still_fires(self, tmp_path):
+        report, _ = run_safety(
+            tmp_path,
+            """
+            from repro.utils.validation import check_positive
+
+            def f(x, mu):
+                check_positive("mu", mu, strict=False)
+                return x / mu
+            """,
+        )
+        assert len(findings_for(report, "RL404")) == 1
+
+
+# ---------------------------------------------------------------------------
+# --changed scoping
+# ---------------------------------------------------------------------------
+
+
+def _git(root, *cmd):
+    subprocess.run(
+        ("git",) + cmd,
+        cwd=root,
+        check=True,
+        capture_output=True,
+        env={
+            "GIT_AUTHOR_NAME": "t",
+            "GIT_AUTHOR_EMAIL": "t@t",
+            "GIT_COMMITTER_NAME": "t",
+            "GIT_COMMITTER_EMAIL": "t@t",
+            "HOME": str(root),
+            "PATH": "/usr/bin:/bin:/usr/local/bin",
+        },
+    )
+
+
+class TestChangedScoping:
+    def _repo(self, tmp_path):
+        (tmp_path / "src").mkdir()
+        (tmp_path / "src" / "a.py").write_text("import os\n")
+        (tmp_path / "src" / "b.py").write_text("x = 1\n")
+        _git(tmp_path, "init", "-q", "-b", "main")
+        _git(tmp_path, "add", ".")
+        _git(tmp_path, "commit", "-q", "-m", "base")
+        return tmp_path
+
+    def test_changed_files_vs_ref(self, tmp_path):
+        root = self._repo(tmp_path)
+        (root / "src" / "b.py").write_text("x = 2\n")
+        (root / "src" / "c.py").write_text("y = 3\n")  # untracked
+        changed = changed_python_files(root, "main")
+        names = {p.name for p in changed}
+        assert names == {"b.py", "c.py"}
+
+    def test_no_changes(self, tmp_path):
+        root = self._repo(tmp_path)
+        assert changed_python_files(root, "main") == []
+
+    def test_bad_ref_returns_none(self, tmp_path):
+        root = self._repo(tmp_path)
+        assert changed_python_files(root, "no-such-ref") is None
+
+    def test_changed_only_scopes_rule_phase(self, tmp_path):
+        # Two files with unused imports; scoping to one reports one but
+        # still parses/indexes both (files_checked counts scoped only).
+        config = make_tree(
+            tmp_path,
+            {
+                "src/a.py": "import os\n",
+                "src/b.py": "import sys\n",
+            },
+            families=("hygiene",),
+        )
+        full = lint_paths([tmp_path / "src"], config)
+        scoped = lint_paths(
+            [tmp_path / "src"],
+            config,
+            changed_only=[tmp_path / "src" / "a.py"],
+        )
+        assert len(findings_for(full, "RL704")) == 2
+        assert len(findings_for(scoped, "RL704")) == 1
+        assert scoped.files_checked == 1
+        assert scoped.stale_baseline == {}
+
+
+# ---------------------------------------------------------------------------
+# SARIF help metadata
+# ---------------------------------------------------------------------------
+
+
+class TestSarifHelp:
+    def test_every_rule_has_help_metadata(self, tmp_path):
+        report, _ = run_lint(tmp_path, {"src/m.py": "x = 1\n"})
+        log = json.loads(render_sarif(report))
+        rules = log["runs"][0]["tool"]["driver"]["rules"]
+        assert {r["id"] for r in rules} >= {f"RL90{i}" for i in range(5)}
+        for r in rules:
+            assert r["helpUri"].startswith("docs/LINTING.md#"), r["id"]
+            assert r["fullDescription"]["text"], r["id"]
+
+    def test_anchors_match_linting_doc_headings(self):
+        # Every helpUri anchor must resolve to a real heading in
+        # docs/LINTING.md under GitHub's slug rules.
+        import re
+
+        doc = (REPO_ROOT / "docs" / "LINTING.md").read_text(encoding="utf-8")
+        anchors = set()
+        for line in doc.splitlines():
+            if line.startswith("#"):
+                text = line.lstrip("#").strip().lower()
+                slug = re.sub(r"[^\w\s-]", "", text).replace(" ", "-")
+                anchors.add(slug)
+        for cls in all_rules():
+            uri = rule_help_uri(cls)
+            assert "#" in uri, cls.rule_id
+            assert uri.split("#", 1)[1] in anchors, (
+                f"{cls.rule_id}: {uri} has no matching docs/LINTING.md heading"
+            )
+
+    def test_full_description_prefers_docstring(self):
+        from tools.reprolint.rules.arrays import ShapeMismatchRule
+
+        text = rule_full_description(ShapeMismatchRule)
+        assert "RL900" in text
+        assert "\n" not in text

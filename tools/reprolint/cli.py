@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import argparse
+import subprocess
 import sys
 from pathlib import Path
 from typing import List, Optional
@@ -69,6 +70,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="with --fix: print the unified diff without writing files",
     )
     parser.add_argument(
+        "--changed",
+        nargs="?",
+        const="origin/main",
+        default=None,
+        metavar="REF",
+        help="lint only files changed vs REF (default origin/main when the "
+        "flag is bare); the whole project is still parsed and indexed so "
+        "cross-file rules stay sound",
+    )
+    parser.add_argument(
         "--jobs",
         type=int,
         default=1,
@@ -84,11 +95,60 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _git_lines(root: Path, *cmd: str) -> Optional[List[str]]:
+    """stdout lines of one git command, or None when it fails."""
+    try:
+        proc = subprocess.run(
+            ("git",) + cmd,
+            cwd=root,
+            capture_output=True,
+            text=True,
+            timeout=30,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    if proc.returncode != 0:
+        return None
+    return [line for line in proc.stdout.splitlines() if line.strip()]
+
+
+def changed_python_files(root: Path, ref: str) -> Optional[List[Path]]:
+    """Python files changed vs ``ref`` (committed, staged, unstaged, or
+    untracked), as absolute paths.  ``None`` when git can't answer —
+    callers should fall back to a full run rather than lint nothing."""
+    merge_base = _git_lines(root, "merge-base", ref, "HEAD")
+    base = merge_base[0] if merge_base else ref
+    diff = _git_lines(root, "diff", "--name-only", base)
+    if diff is None:
+        return None
+    untracked = _git_lines(root, "ls-files", "--others", "--exclude-standard")
+    names = list(diff) + list(untracked or [])
+    out: List[Path] = []
+    seen = set()
+    for name in names:
+        if not name.endswith(".py"):
+            continue
+        p = (root / name).resolve()
+        if p.is_file() and p not in seen:
+            seen.add(p)
+            out.append(p)
+    return out
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
 
     if args.dry_run and not args.fix:
         print("error: --dry-run only makes sense with --fix", file=sys.stderr)
+        return 2
+    if args.changed and (
+        args.update_baseline or args.prune_baseline or args.fix
+    ):
+        print(
+            "error: --changed scopes the report to a file subset and cannot "
+            "combine with --update-baseline/--prune-baseline/--fix",
+            file=sys.stderr,
+        )
         return 2
 
     if args.list_rules:
@@ -106,7 +166,26 @@ def main(argv: Optional[List[str]] = None) -> int:
               file=sys.stderr)
         return 2
 
-    report = lint_paths(paths, config, baseline_path=baseline_path, jobs=args.jobs)
+    changed_only = None
+    if args.changed:
+        changed_only = changed_python_files(config.root, args.changed)
+        if changed_only is None:
+            print(
+                f"warning: git could not diff against {args.changed!r}; "
+                "falling back to a full lint",
+                file=sys.stderr,
+            )
+        elif not changed_only:
+            print(f"no Python files changed vs {args.changed}")
+            return 0
+
+    report = lint_paths(
+        paths,
+        config,
+        baseline_path=baseline_path,
+        jobs=args.jobs,
+        changed_only=changed_only,
+    )
 
     if args.update_baseline:
         entries = save_baseline(baseline_path, report.findings + report.baselined)

@@ -35,6 +35,7 @@ DEFAULT_LAYERS: Dict[str, int] = {
     "repro.exceptions": 0,
     "repro.utils": 0,
     "repro.obs": 0,
+    "repro.backend": 0,
     "repro.nn": 1,
     "repro.models": 1,
     "repro.datasets": 1,
@@ -93,9 +94,32 @@ DEFAULT_THEORY_CHECKS = [
     "stationarity_bound",
 ]
 
+#: repro.utils.validation helpers that prove their ``value`` argument
+#: strictly positive (unless relaxed via ``strict=False``/``minimum<=0``).
+DEFAULT_POSITIVE_CHECKS = [
+    "check_positive",
+    "check_positive_int",
+]
+
+#: Hot-path roots for RL903: any function reachable from one of these in
+#: the project call graph counts as hot, so allocations in its loops are
+#: per-round/per-step costs.  Bare names match any module.
+DEFAULT_HOT_PATH_ROOTS = [
+    "solve_cohort",
+    "solve",
+    "gradient_stack",
+    "loss_stack",
+    "im2col",
+    "col2im",
+    "_gather_minibatches",
+    "run_round",
+    "forward",
+    "backward",
+]
+
 ALL_FAMILIES = (
     "layering", "rng", "dtype", "safety", "theory", "provenance", "hygiene",
-    "concurrency",
+    "concurrency", "arrays",
 )
 
 
@@ -122,6 +146,12 @@ class LintConfig:
     )
     theory_check_functions: List[str] = field(
         default_factory=lambda: list(DEFAULT_THEORY_CHECKS)
+    )
+    positive_check_functions: List[str] = field(
+        default_factory=lambda: list(DEFAULT_POSITIVE_CHECKS)
+    )
+    hot_path_roots: List[str] = field(
+        default_factory=lambda: list(DEFAULT_HOT_PATH_ROOTS)
     )
     severity_overrides: Dict[str, Severity] = field(default_factory=dict)
 
@@ -276,6 +306,12 @@ def load_config(pyproject: Optional[Path] = None) -> LintConfig:
         cfg.theory_check_functions = [
             str(v) for v in section["theory-check-functions"]
         ]
+    if "positive-check-functions" in section:
+        cfg.positive_check_functions = [
+            str(v) for v in section["positive-check-functions"]
+        ]
+    if "hot-path-roots" in section:
+        cfg.hot_path_roots = [str(v) for v in section["hot-path-roots"]]
     layers = section.get("layers")
     if isinstance(layers, dict) and layers:
         cfg.layers = {str(k): int(v) for k, v in layers.items()}

@@ -16,6 +16,12 @@ the RL6xx rules need to ask:
   ``spawn_seeds`` / ``derive_generator``), including elements obtained
   by subscripting or iterating the spawned list;
 * ``param``    — a function parameter (the caller's responsibility);
+* ``positive`` — a value proven strictly positive: it passed a runtime
+  positivity check (``check_positive``/``check_positive_int`` with
+  default strictness), or came out of ``x or <positive literal>`` /
+  ``max(x, eps)`` / ``np.maximum(x, eps)`` with a positive floor; RL404
+  skips divisions whose denominators carry only this fact (or positive
+  literals);
 * ``unordered`` — a value with no deterministic iteration order (set
   literals, ``set()``/``frozenset()`` calls, set comprehensions); the
   RL805 bit-identity rule asks whether such a value feeds aggregation;
@@ -71,6 +77,14 @@ THEORY_CHECK_FUNCTIONS = (
     "federated_factor",
     "global_iterations_required",
     "stationarity_bound",
+)
+
+#: repro.utils.validation helpers whose 2nd (``value``) argument is
+#: strictly positive after the call returns — unless relaxed by
+#: ``strict=False`` or a non-positive ``minimum=``.
+POSITIVE_CHECK_FUNCTIONS = (
+    "check_positive",
+    "check_positive_int",
 )
 
 #: Cap on distinct literal values per variable before collapsing to
@@ -199,6 +213,7 @@ class ScopeAnalysis:
         scope_node: Optional[ast.AST] = None,
         blessed_factories: Tuple[str, ...] = RNG_BLESSED_FACTORIES,
         theory_checks: Tuple[str, ...] = THEORY_CHECK_FUNCTIONS,
+        positive_checks: Tuple[str, ...] = POSITIVE_CHECK_FUNCTIONS,
     ) -> None:
         self.scope_node = scope_node
         self.body = body
@@ -207,6 +222,7 @@ class ScopeAnalysis:
         self._aliases = aliases
         self._blessed = set(blessed_factories)
         self._checks = set(theory_checks)
+        self._positive_checks = set(positive_checks)
         self._env_before_unit: Dict[int, Env] = {}
         self._unit_of_node: Dict[int, ast.stmt] = {}
         self._solve(self._initial_env())
@@ -388,6 +404,44 @@ class ScopeAnalysis:
                 if not isinstance(node, ast.Call):
                     continue
                 self._apply_one_check(node, env)
+                self._apply_positive_check(node, env)
+
+    def _apply_positive_check(self, node: ast.Call, env: Env) -> None:
+        if _terminal_name(node.func) not in self._positive_checks:
+            return
+        for kw in node.keywords:
+            # strict=False admits zero; minimum=<non-positive literal>
+            # admits zero or negatives — neither proves positivity.
+            if (
+                kw.arg == "strict"
+                and isinstance(kw.value, ast.Constant)
+                and kw.value.value is False
+            ):
+                return
+            if kw.arg == "minimum" and isinstance(kw.value, ast.Constant):
+                if (
+                    isinstance(kw.value.value, (int, float))
+                    and not isinstance(kw.value.value, bool)
+                    and kw.value.value <= 0
+                ):
+                    return
+        value_node: Optional[ast.AST] = (
+            node.args[1] if len(node.args) >= 2 else None
+        )
+        if value_node is None:
+            for kw in node.keywords:
+                if kw.arg == "value":
+                    value_node = kw.value
+        if isinstance(value_node, ast.Name) and value_node.id in env:
+            line = getattr(node, "lineno", 0)
+            # The check raises on non-positive input, so *every* kind
+            # (param, literal, unknown …) is positive downstream of it.
+            env[value_node.id] = frozenset(
+                {
+                    AbstractValue("positive", v.value, line)
+                    for v in env[value_node.id]
+                }
+            )
 
     def _apply_one_check(self, node: ast.Call, env: Env) -> None:
         if _terminal_name(node.func) not in self._checks:
@@ -470,6 +524,22 @@ class ScopeAnalysis:
             return frozenset(
                 {AbstractValue("unordered", origin_line=expr.lineno)}
             )
+        if isinstance(expr, ast.BoolOp) and isinstance(expr.op, ast.Or):
+            # ``len(xs) or 1``: falsy left operands fall through to the
+            # final operand, so a positive-literal default proves the
+            # result positive (any truthy numeric earlier is non-zero,
+            # and these denominators are non-negative counts).
+            last = expr.values[-1]
+            if (
+                isinstance(last, ast.Constant)
+                and isinstance(last.value, (int, float))
+                and not isinstance(last.value, bool)
+                and last.value > 0
+            ):
+                return frozenset(
+                    {AbstractValue("positive", origin_line=expr.lineno)}
+                )
+            return _UNKNOWN_SET
         return _UNKNOWN_SET
 
     def _eval_call(self, call: ast.Call, env: Env) -> ValueSet:
@@ -491,7 +561,26 @@ class ScopeAnalysis:
                 return frozenset(
                     {AbstractValue("rng_raw", origin_line=call.lineno)}
                 )
+        # max(x, eps) / np.maximum(x, eps): a provably-positive floor on
+        # any operand makes the result positive.
+        if name in ("max", "maximum") and len(call.args) >= 2:
+            for arg in call.args:
+                vals = self.eval(arg, env)
+                if vals and all(self._is_positive_fact(v) for v in vals):
+                    return frozenset(
+                        {AbstractValue("positive", origin_line=call.lineno)}
+                    )
         return _UNKNOWN_SET
+
+    @staticmethod
+    def _is_positive_fact(v: AbstractValue) -> bool:
+        if v.kind == "positive":
+            return True
+        return (
+            v.kind in ("literal", "checked")
+            and v.value is not None
+            and v.value > 0
+        )
 
     def _eval_iteration(self, iterable: ast.AST, env: Env) -> ValueSet:
         if isinstance(iterable, (ast.Tuple, ast.List, ast.Set)):
@@ -568,6 +657,7 @@ class ModuleDataflow:
         *,
         blessed_factories: Tuple[str, ...] = RNG_BLESSED_FACTORIES,
         theory_checks: Tuple[str, ...] = THEORY_CHECK_FUNCTIONS,
+        positive_checks: Tuple[str, ...] = POSITIVE_CHECK_FUNCTIONS,
     ) -> None:
         aliases = NumpyAliases(tree)
         self.scopes: List[ScopeAnalysis] = []
@@ -583,6 +673,7 @@ class ModuleDataflow:
                     scope_node=scope_node,
                     blessed_factories=blessed_factories,
                     theory_checks=theory_checks,
+                    positive_checks=positive_checks,
                 )
             )
 

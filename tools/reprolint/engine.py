@@ -146,7 +146,7 @@ def build_index(parsed: Sequence[ParsedFile]) -> ProjectIndex:
     """Phase-1 output: the whole-program index over src-tree files."""
     return ProjectIndex.build(
         [
-            (p.path, p.display_path, p.module_name, p.tree)
+            (p.path, p.display_path, p.module_name, p.tree, p.lines)
             for p in parsed
             if p.module_name is not None and p.tree is not None
         ]
@@ -188,6 +188,7 @@ def lint_paths(
     *,
     baseline_path: Optional[Path] = None,
     jobs: int = 1,
+    changed_only: Optional[Sequence[Path]] = None,
 ) -> LintReport:
     """Lint every Python file under ``paths`` and apply the baseline.
 
@@ -196,6 +197,13 @@ def lint_paths(
     order, so the report is identical to a serial run; rules share the
     read-only :class:`ProjectIndex` and each file's dataflow is private
     to its :class:`FileContext`, so the phase parallelizes safely.
+
+    ``changed_only`` (a set of file paths, e.g. from ``git diff``)
+    scopes the *rule phase* to those files while still parsing and
+    indexing everything under ``paths`` — cross-file rules keep the
+    whole-program view, only the reporting surface shrinks.  Stale-
+    baseline accounting is disabled in scoped runs: fingerprints owned
+    by unscoped files would always look unconsumed.
     """
     report = LintReport()
     parsed_files = [
@@ -203,6 +211,11 @@ def lint_paths(
     ]
     index = build_index(parsed_files)
     report.index = index
+    if changed_only is not None:
+        changed_set = {Path(p).resolve() for p in changed_only}
+        parsed_files = [
+            p for p in parsed_files if p.path.resolve() in changed_set
+        ]
     raw: List[Finding] = []
     if jobs > 1 and len(parsed_files) > 1:
         from concurrent.futures import ThreadPoolExecutor
@@ -229,9 +242,10 @@ def lint_paths(
     report.findings = new
     report.baselined = matched
     consumed = Counter(f.fingerprint() for f in matched)
-    report.stale_baseline = {
-        fp: count - consumed.get(fp, 0)
-        for fp, count in sorted(baseline.items())
-        if count - consumed.get(fp, 0) > 0
-    }
+    if changed_only is None:
+        report.stale_baseline = {
+            fp: count - consumed.get(fp, 0)
+            for fp, count in sorted(baseline.items())
+            if count - consumed.get(fp, 0) > 0
+        }
     return report

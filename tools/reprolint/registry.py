@@ -13,6 +13,7 @@ from tools.reprolint.findings import Finding, Severity
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from tools.reprolint.dataflow import ModuleDataflow
     from tools.reprolint.projectindex import ProjectIndex
+    from tools.reprolint.shapes import ModuleShapes
 
 
 @dataclass
@@ -36,6 +37,9 @@ class FileContext:
     _dataflow: Optional["ModuleDataflow"] = field(
         default=None, repr=False, compare=False
     )
+    _shapes: Optional["ModuleShapes"] = field(
+        default=None, repr=False, compare=False
+    )
 
     def source_line(self, lineno: int) -> str:
         if 1 <= lineno <= len(self.lines):
@@ -53,8 +57,34 @@ class FileContext:
                 self.tree,
                 blessed_factories=tuple(self.config.rng_factories),
                 theory_checks=tuple(self.config.theory_check_functions),
+                positive_checks=tuple(self.config.positive_check_functions),
             )
         return self._dataflow
+
+    def shapes(self) -> "ModuleShapes":
+        """The file's shape/dtype analysis, built on first use and cached.
+
+        When the engine supplied a :class:`ProjectIndex`, annotated
+        summaries from *other* modules seed interprocedural call sites;
+        standalone contexts fall back to local annotations only.
+        """
+        if self._shapes is None:
+            if self.tree is None:
+                raise ValueError("FileContext has no tree; cannot run shapes")
+            from tools.reprolint.shapes import ModuleShapes
+
+            summaries = None
+            method_summaries = None
+            if self.index is not None:
+                summaries, method_summaries = self.index.shape_summaries()
+            self._shapes = ModuleShapes(
+                self.tree,
+                self.lines,
+                module_name=self.module_name,
+                summaries=summaries,
+                method_summaries=method_summaries,
+            )
+        return self._shapes
 
 
 class Rule:

@@ -15,6 +15,38 @@ _SARIF_LEVEL = {
     Severity.INFO: "note",
 }
 
+#: GitHub-style anchors of each family's section in docs/LINTING.md
+#: (kept in sync by tests/tools/test_shapes.py::TestSarifHelp).
+_FAMILY_ANCHORS = {
+    "layering": "rl1xx--import-layering",
+    "rng": "rl2xx--rng-discipline",
+    "dtype": "rl3xx--dtype-discipline",
+    "safety": "rl4xx--numerical--exception-safety",
+    "theory": "rl5xx--theory-contracts-icpp20-lemma-1",
+    "provenance": "rl6xx--value-provenance-dataflow",
+    "hygiene": "rl7xx--whole-program-hygiene",
+    "concurrency": "rl8xx--concurrency--shared-state",
+    "arrays": "rl9xx--array-shapes-and-dtypes",
+}
+
+
+def rule_help_uri(cls) -> str:
+    """docs/LINTING.md anchor for one rule's family section."""
+    anchor = _FAMILY_ANCHORS.get(cls.family)
+    return f"docs/LINTING.md#{anchor}" if anchor else "docs/LINTING.md"
+
+
+def rule_full_description(cls) -> str:
+    """First docstring paragraph of the rule class (one line), falling
+    back to the short description."""
+    doc = cls.__doc__ or ""
+    para_lines = []
+    for line in doc.strip().splitlines():
+        if not line.strip():
+            break
+        para_lines.append(line.strip())
+    return " ".join(para_lines) if para_lines else cls.description
+
 
 def render_text(report: LintReport, *, verbose: bool = False) -> str:
     lines = []
@@ -108,6 +140,10 @@ def render_sarif(report: LintReport) -> str:
                             {
                                 "id": cls.rule_id,
                                 "shortDescription": {"text": cls.description},
+                                "fullDescription": {
+                                    "text": rule_full_description(cls)
+                                },
+                                "helpUri": rule_help_uri(cls),
                                 "defaultConfiguration": {
                                     "level": _SARIF_LEVEL[cls.severity]
                                 },

@@ -16,6 +16,7 @@ from tools.reprolint.asthelpers import (
     contains_call_to,
     contains_literal_offset,
     numeric_literal,
+    walk_with_parents,
 )
 from tools.reprolint.findings import Finding, Severity
 from tools.reprolint.registry import FileContext, Rule, register
@@ -158,7 +159,14 @@ class UnclampedExpRule(Rule):
 
 @register
 class UnguardedDivisionRule(Rule):
-    """RL404 (info): division by a bare variable in loss/prox code."""
+    """RL404 (info): division by a bare variable in loss/prox code.
+
+    Stays quiet when the denominator is *provably* positive — it flowed
+    through a ``check_positive``-style validator, a ``len(...) or 1``
+    default, or ``max(x, eps)`` with a positive floor — or when a
+    preceding lexical guard (``if den == 0: return/raise/continue``)
+    already rules zero out.
+    """
 
     rule_id = "RL404"
     family = "safety"
@@ -171,7 +179,8 @@ class UnguardedDivisionRule(Rule):
     def check(self, tree: ast.AST, ctx: FileContext) -> Iterable[Finding]:
         if not _numeric_scope(ctx):
             return
-        for node in ast.walk(tree):
+        flow = ctx.dataflow()
+        for node in walk_with_parents(tree):
             den = None
             if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Div):
                 den = node.right
@@ -179,10 +188,96 @@ class UnguardedDivisionRule(Rule):
                 den = node.value
             if den is None:
                 continue
-            if isinstance(den, (ast.Name, ast.Attribute)):
-                yield self.make_finding(
-                    ctx,
-                    node,
-                    "division by a bare variable; confirm it is provably "
-                    "non-zero or add an epsilon/max guard",
-                )
+            if not isinstance(den, (ast.Name, ast.Attribute)):
+                continue
+            if isinstance(den, ast.Name) and self._provably_positive(
+                flow.provenance(den)
+            ):
+                continue
+            if self._zero_guarded(node, den):
+                continue
+            yield self.make_finding(
+                ctx,
+                node,
+                "division by a bare variable; confirm it is provably "
+                "non-zero or add an epsilon/max guard",
+            )
+
+    @staticmethod
+    def _provably_positive(values) -> bool:
+        """True when every provenance fact forces the value above zero."""
+        if not values:
+            return False
+        for v in values:
+            if v.kind == "positive":
+                continue
+            if (
+                v.kind in ("literal", "checked")
+                and isinstance(v.value, (int, float))
+                and not isinstance(v.value, bool)
+                and v.value > 0
+            ):
+                continue
+            return False
+        return True
+
+    def _zero_guarded(self, node: ast.AST, den: ast.AST) -> bool:
+        """A preceding ``if den == 0 / <= 0 / not den:`` in the same
+        function whose body bails (return/raise/continue/break)."""
+        den_src = ast.unparse(den)
+        scope: ast.AST = node
+        while True:
+            parent = getattr(scope, "_reprolint_parent", None)
+            if parent is None:
+                return False
+            scope = parent
+            if isinstance(scope, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                break
+        lineno = getattr(node, "lineno", 0)
+        for sub in ast.walk(scope):
+            if not isinstance(sub, ast.If) or sub.lineno >= lineno:
+                continue
+            if not sub.body or not isinstance(
+                sub.body[-1], (ast.Return, ast.Raise, ast.Continue, ast.Break)
+            ):
+                continue
+            if self._guard_matches(sub.test, den_src):
+                return True
+        return False
+
+    @staticmethod
+    def _guard_matches(test: ast.AST, den_src: str) -> bool:
+        for sub in ast.walk(test):
+            if (
+                isinstance(sub, ast.UnaryOp)
+                and isinstance(sub.op, ast.Not)
+                and ast.unparse(sub.operand) == den_src
+            ):
+                return True
+            if not (isinstance(sub, ast.Compare) and len(sub.ops) == 1):
+                continue
+            left, op, right = sub.left, sub.ops[0], sub.comparators[0]
+            left_src, right_src = ast.unparse(left), ast.unparse(right)
+            if left_src == den_src:
+                bound = numeric_literal(right)
+                if bound is None:
+                    continue
+                # Bail branch fires when den < / <= bound; the surviving
+                # path excludes zero iff the bound is high enough.
+                if isinstance(op, ast.Eq) and bound == 0:
+                    return True
+                if isinstance(op, ast.Lt) and bound >= 1:
+                    return True
+                if isinstance(op, ast.LtE) and bound >= 0:
+                    return True
+            elif right_src == den_src:
+                bound = numeric_literal(left)
+                if bound is None:
+                    continue
+                if isinstance(op, ast.Eq) and bound == 0:
+                    return True
+                if isinstance(op, ast.Gt) and bound >= 1:
+                    return True
+                if isinstance(op, ast.GtE) and bound >= 0:
+                    return True
+        return False
