@@ -30,6 +30,7 @@ from typing import Dict, Tuple
 import numpy as np
 
 from repro.exceptions import ConfigurationError
+from repro.obs import telemetry
 
 __all__ = ["ArraySpec", "ShmArena", "attach_array"]
 
@@ -91,6 +92,7 @@ def attach_array(spec: ArraySpec) -> Tuple[np.ndarray, shared_memory.SharedMemor
     with _untracked_attach():
         handle = shared_memory.SharedMemory(name=spec.shm_name)
     array = np.ndarray(spec.shape, dtype=np.dtype(spec.dtype), buffer=handle.buf)
+    telemetry.counter_add("backend.shm.attached")
     return array, handle
 
 
@@ -111,6 +113,7 @@ class ShmArena:
         view = np.ndarray(array.shape, dtype=array.dtype, buffer=shm.buf)
         view[...] = array
         self._segments[shm.name] = shm
+        telemetry.counter_add("backend.shm.created")
         return spec
 
     def create(self, shape, dtype=np.float64) -> Tuple[ArraySpec, np.ndarray]:
@@ -127,6 +130,7 @@ class ShmArena:
         view = np.ndarray(spec.shape, dtype=dtype, buffer=shm.buf)
         view[...] = 0.0
         self._segments[shm.name] = shm
+        telemetry.counter_add("backend.shm.created")
         return spec, view
 
     def close(self) -> None:
@@ -139,6 +143,7 @@ class ShmArena:
             try:
                 shm.close()
                 shm.unlink()
+                telemetry.counter_add("backend.shm.unlinked")
             except FileNotFoundError:
                 pass
 

@@ -7,7 +7,12 @@ Commands
 ``theory``  — evaluate Lemma 1 bounds and Theorem 1's factor at given knobs.
 ``optimize``— solve the §4.3 problem for one or more gamma values (Fig. 1).
 ``obs-report`` — render the span-tree / hotspot summary of a JSONL trace
-produced by ``repro run --trace``.
+produced by ``repro run --trace`` (or, with ``--ledger``, the round/alert
+summary of a ``repro.ledger/v1`` file from ``repro run --ledger``).
+``obs-diff`` — align two run ledgers and report metric/hotspot deltas
+with a regression verdict.
+``obs-check`` — validate a ledger and assert alert/round expectations
+(the CI building block for monitored demo runs).
 ``lint``    — run the reprolint static-analysis suite (requires the repo
 checkout: the ``tools`` package is not shipped with the installed wheel).
 
@@ -18,6 +23,7 @@ onto :class:`repro.fl.runner.FederatedRunConfig` / the theory functions.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Callable, List, Optional
 
@@ -36,8 +42,19 @@ from repro.models import (
     make_mlp_model,
     make_paper_cnn_model,
 )
-from repro.obs import CsvMetricsSink, JsonlSink, StderrReporter, telemetry
-from repro.obs.report import render_report
+from repro.obs import (
+    CsvMetricsSink,
+    JsonlSink,
+    LedgerReader,
+    MonitorFailFast,
+    RunLedger,
+    StderrReporter,
+    default_monitor_suite,
+    diff_ledgers,
+    render_diff,
+    telemetry,
+)
+from repro.obs.report import render_ledger_report, render_report
 
 DATASETS = ("synthetic", "digits", "fashion")
 MODELS = ("mlr", "mlp", "cnn")
@@ -107,6 +124,14 @@ def _add_run_options(p: argparse.ArgumentParser) -> None:
     p.add_argument("--profile-nn", action="store_true",
                    help="with telemetry on, time every nn layer forward/backward "
                         "(adds overhead; off by default)")
+    p.add_argument("--ledger", metavar="PATH",
+                   help="write a crash-safe repro.ledger/v1 run ledger here and "
+                        "run the default monitor suite (inspect with "
+                        "'repro obs-report --ledger' / 'repro obs-check'; "
+                        "compare runs with 'repro obs-diff')")
+    p.add_argument("--fail-fast", action="store_true",
+                   help="with --ledger, abort the run on the first "
+                        "error-severity monitor alert (exit code 3)")
 
 
 def _configure_telemetry(args) -> bool:
@@ -148,6 +173,23 @@ def _make_config(args, algorithm: str) -> FederatedRunConfig:
     )
 
 
+def _make_ledger(path: str, *, fail_fast: bool):
+    """A fresh ledger + default monitor suite for one run."""
+    return RunLedger(path), default_monitor_suite(fail_fast=fail_fast)
+
+
+def _ledger_path_for(path: str, algorithm: str) -> str:
+    """Per-algorithm ledger path: ``runs.jsonl`` -> ``runs.fedavg.jsonl``."""
+    root, ext = os.path.splitext(path)
+    return f"{root}.{algorithm}{ext or '.jsonl'}"
+
+
+def _report_ledger(ledger: RunLedger) -> None:
+    print(f"ledger written to {ledger.path} "
+          f"({ledger.alert_count} alert(s); inspect with: "
+          f"repro obs-report --ledger {ledger.path})")
+
+
 def cmd_run(args) -> int:
     dataset = build_dataset(
         args.dataset, num_devices=args.devices, num_samples=args.samples, seed=args.seed
@@ -155,10 +197,18 @@ def cmd_run(args) -> int:
     factory = build_model_factory(args.model, dataset)
     print(dataset.summary())
     traced = _configure_telemetry(args)
+    ledger = monitors = None
+    if args.ledger:
+        ledger, monitors = _make_ledger(args.ledger, fail_fast=args.fail_fast)
     try:
         history, _ = run_federated(
-            dataset, factory, _make_config(args, args.algorithm), verbose=True
+            dataset, factory, _make_config(args, args.algorithm),
+            verbose=True, ledger=ledger, monitors=monitors,
         )
+    except MonitorFailFast as exc:
+        print(f"fail-fast: {exc}", file=sys.stderr)
+        _report_ledger(ledger)
+        return 3
     finally:
         if traced:
             telemetry.shutdown()
@@ -170,6 +220,8 @@ def cmd_run(args) -> int:
               f"(render with: repro obs-report {args.trace})")
     if args.metrics:
         print(f"metrics CSV written to {args.metrics}")
+    if ledger is not None:
+        _report_ledger(ledger)
     return 0
 
 
@@ -186,10 +238,27 @@ def cmd_compare(args) -> int:
             config = _make_config(args, algorithm)
             if algorithm == "fedavg":
                 config.mu = 0.0
-            history, _ = run_federated(dataset, factory, config)
+            ledger = monitors = None
+            if args.ledger:
+                # One ledger per algorithm: a manifest binds one run.
+                ledger, monitors = _make_ledger(
+                    _ledger_path_for(args.ledger, algorithm),
+                    fail_fast=args.fail_fast,
+                )
+            try:
+                history, _ = run_federated(
+                    dataset, factory, config,
+                    ledger=ledger, monitors=monitors,
+                )
+            except MonitorFailFast as exc:
+                print(f"fail-fast ({algorithm}): {exc}", file=sys.stderr)
+                _report_ledger(ledger)
+                return 3
             histories.append(history)
             print(f"  {algorithm:>18s}: final loss {history.final('train_loss'):.4f}  "
                   f"acc {history.final('test_accuracy'):.4f}")
+            if ledger is not None:
+                _report_ledger(ledger)
     finally:
         if traced:
             telemetry.shutdown()
@@ -199,12 +268,69 @@ def cmd_compare(args) -> int:
 
 
 def cmd_obs_report(args) -> int:
+    render = render_ledger_report if args.ledger else render_report
     try:
-        print(render_report(args.trace, top=args.top), end="")
+        print(render(args.trace, top=args.top), end="")
     except (OSError, ValueError) as exc:
         print(f"error: cannot render {args.trace!r}: {exc}", file=sys.stderr)
         return 2
     return 0
+
+
+def cmd_obs_diff(args) -> int:
+    try:
+        result = diff_ledgers(
+            args.ledger_a, args.ledger_b, rel_threshold=args.rel_threshold
+        )
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot diff ledgers: {exc}", file=sys.stderr)
+        return 2
+    print(render_diff(result, top=args.top))
+    if args.fail_on_regression and result["verdict"] != "ok":
+        return 1
+    return 0
+
+
+def cmd_obs_check(args) -> int:
+    """Validate a ledger and assert CI expectations on it."""
+    try:
+        reader = LedgerReader(args.ledger)
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot read {args.ledger!r}: {exc}", file=sys.stderr)
+        return 2
+    errors = reader.validate()
+    if errors:
+        for err in errors:
+            print(f"error: {err}", file=sys.stderr)
+        return 2
+    resume = reader.resume_point()
+    alerts = reader.alerts()
+    fired = sorted({a.get("monitor", "?") for a in alerts})
+    print(f"{args.ledger}: valid repro.ledger/v1  "
+          f"rounds={len(reader.rounds())} alerts={len(alerts)} "
+          f"status={resume['status'] or 'crashed'} "
+          f"resume-cursor={resume['cursor']} next-round={resume['next_round']}"
+          + ("  [torn final line dropped]" if resume["truncated"] else ""))
+    failures = []
+    if args.max_alerts is not None and len(alerts) > args.max_alerts:
+        failures.append(
+            f"{len(alerts)} alert(s) exceed --max-alerts {args.max_alerts}: "
+            + ", ".join(fired)
+        )
+    for expected in args.expect_alert or ():
+        if expected not in fired:
+            failures.append(
+                f"expected an alert from monitor {expected!r}; "
+                f"got {fired or 'none'}"
+            )
+    if args.require_rounds is not None and len(reader.rounds()) < args.require_rounds:
+        failures.append(
+            f"only {len(reader.rounds())} committed round(s), "
+            f"--require-rounds wants {args.require_rounds}"
+        )
+    for failure in failures:
+        print(f"check failed: {failure}", file=sys.stderr)
+    return 1 if failures else 0
 
 
 def cmd_theory(args) -> int:
@@ -323,10 +449,43 @@ def build_parser() -> argparse.ArgumentParser:
     p_rep = sub.add_parser(
         "obs-report", help="summarize a JSONL trace from 'repro run --trace'"
     )
-    p_rep.add_argument("trace", help="path to the JSONL trace file")
+    p_rep.add_argument("trace", help="path to the JSONL trace (or ledger) file")
     p_rep.add_argument("--top", type=int, default=10,
                        help="number of hotspot rows (default 10)")
+    p_rep.add_argument("--ledger", action="store_true",
+                       help="treat the input as a repro.ledger/v1 run ledger "
+                            "from 'repro run --ledger'")
     p_rep.set_defaults(func=cmd_obs_report)
+
+    p_diff = sub.add_parser(
+        "obs-diff",
+        help="diff two run ledgers (metric series + hotspot self-times)",
+    )
+    p_diff.add_argument("ledger_a", help="baseline repro.ledger/v1 file")
+    p_diff.add_argument("ledger_b", help="candidate repro.ledger/v1 file")
+    p_diff.add_argument("--top", type=int, default=10,
+                        help="number of hotspot rows (default 10)")
+    p_diff.add_argument("--rel-threshold", type=float, default=0.25,
+                        help="relative slowdown counted as a regression "
+                             "(default 0.25 = 25%%)")
+    p_diff.add_argument("--fail-on-regression", action="store_true",
+                        help="exit 1 when the verdict is 'regression'")
+    p_diff.set_defaults(func=cmd_obs_diff)
+
+    p_chk = sub.add_parser(
+        "obs-check",
+        help="validate a run ledger and assert alert/round expectations",
+    )
+    p_chk.add_argument("ledger", help="repro.ledger/v1 file to check")
+    p_chk.add_argument("--max-alerts", type=int, default=None,
+                       help="fail (exit 1) when more alerts were recorded")
+    p_chk.add_argument("--expect-alert", metavar="MONITOR", action="append",
+                       default=None,
+                       help="fail (exit 1) unless this monitor fired, e.g. "
+                            "theorem1_contraction (repeatable)")
+    p_chk.add_argument("--require-rounds", type=int, default=None,
+                       help="fail (exit 1) with fewer committed rounds")
+    p_chk.set_defaults(func=cmd_obs_check)
 
     p_lint = sub.add_parser(
         "lint", help="run the reprolint static-analysis suite (repo checkout only)"

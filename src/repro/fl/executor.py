@@ -210,17 +210,19 @@ class BatchedCohortExecutor(ClientExecutor):
 
     def __init__(self) -> None:
         self._plan_clients: Optional[Tuple[int, ...]] = None
-        self._plan: List[Tuple[List[int], Optional[object]]] = []
+        self._plan: List[Tuple[List[int], Optional[object], str]] = []
 
     def _build_plan(
         self, clients: Sequence[Client]
-    ) -> List[Tuple[List[int], Optional[object]]]:
+    ) -> List[Tuple[List[int], Optional[object], str]]:
         groups: Dict[Hashable, List[int]] = {}
+        signatures: Dict[Hashable, str] = {}
         for i, c in enumerate(clients):
             sig = cohort_signature(c.model)
             if sig is None:
                 # No kernel for this architecture -> unconditional singleton.
                 groups.setdefault(("solo", i), []).append(i)
+                signatures[("solo", i)] = "solo"
                 continue
             # A cohort stacks minibatches into one (K, B, features)
             # block, so clients whose shards clamp the minibatch
@@ -233,13 +235,14 @@ class BatchedCohortExecutor(ClientExecutor):
             )
             key = (id(c.solver), sig, effective)
             groups.setdefault(key, []).append(i)
-        plan: List[Tuple[List[int], Optional[object]]] = []
-        for indices in groups.values():
+            signatures[key] = f"{sig}/B={effective}"
+        plan: List[Tuple[List[int], Optional[object], str]] = []
+        for key, indices in groups.items():
             # Singleton groups get a K=1 kernel too: the stacked ops run
             # the same elementary sequence at K=1, and a kernel solve is
             # cheaper than the allocating per-client path it replaces.
             kernel = make_batch_kernel([clients[i].model for i in indices])
-            plan.append((indices, kernel))
+            plan.append((indices, kernel, signatures[key]))
         return plan
 
     def run_round(self, clients, w_global, round_index):
@@ -252,7 +255,7 @@ class BatchedCohortExecutor(ClientExecutor):
         parent = telemetry.current_span() if traced else None
         results: List[Optional[LocalSolveResult]] = [None] * len(clients)
         batched_count = 0
-        for indices, kernel in self._plan:
+        for indices, kernel, signature in self._plan:
             cohort_results = None
             if kernel is not None:
                 cohort = [clients[i] for i in indices]
@@ -265,6 +268,7 @@ class BatchedCohortExecutor(ClientExecutor):
                         "cohort_solve",
                         parent=parent,
                         cohort_size=len(cohort),
+                        signature=signature,
                         round=round_index,
                     ):
                         cohort_results = solver.solve_cohort(

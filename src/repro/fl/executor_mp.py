@@ -19,14 +19,20 @@ executor instead follows the :class:`repro.backend.ShmArena` protocol:
 
 Results are bit-identical to :class:`~repro.fl.executor.SequentialExecutor`
 because the per-(client, round) streams do not depend on which process
-runs them.  Worker-side telemetry lands in per-process registries that
-are not merged back; :attr:`last_client_seconds` therefore stays
-``None`` (the straggler-gap diagnostic is a sequential/thread feature).
+runs them.  Telemetry: workers cannot emit spans themselves — a forked
+worker inherits a copy of the parent's span-id counter, so worker-side
+ids would collide — instead each task measures its own wall time and
+ships ``(result, timing)`` home, where the parent emits a
+``local_solve`` span via :meth:`~repro.obs.Telemetry.external_span`,
+parented on the serialized round-span context and tagged with the
+worker's process name.  :attr:`last_client_seconds` is therefore
+populated on traced mp runs, lighting up the straggler-gap diagnostic.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import time
 from concurrent.futures import ProcessPoolExecutor
 from typing import Any, Dict, List, Optional, Sequence
 
@@ -36,6 +42,7 @@ from repro.backend.shm import ArraySpec, ShmArena, attach_array
 from repro.core.local.base import LocalSolveResult
 from repro.fl.client import Client
 from repro.fl.executor import ClientExecutor
+from repro.obs import telemetry
 from repro.utils.rng import derive_generator
 from repro.utils.validation import check_positive_int
 
@@ -69,17 +76,38 @@ def _init_worker(entries: List[Dict[str, Any]], w_spec: ArraySpec) -> None:
     _WORKER = {"entries": attached, "w": w_view, "handles": handles}
 
 
-def _run_task(slot: int, round_index: int) -> LocalSolveResult:
-    """One client's local solve inside a worker process."""
+def _run_task(
+    slot: int, round_index: int, timed: bool = False
+) -> "LocalSolveResult | Tuple[LocalSolveResult, Dict[str, Any]]":
+    """One client's local solve inside a worker process.
+
+    With ``timed`` (traced runs) the worker measures its own wall time
+    and returns ``(result, timing)``; the parent turns the timing into
+    an external ``local_solve`` span.  No span ids are allocated here —
+    see the module docstring.
+    """
     assert _WORKER is not None, "worker initializer did not run"
     entry = _WORKER["entries"][slot]
     # Private copy of the broadcast block: solvers anchor proximal terms
     # on the passed array, and the parent rewrites the block next round.
     w_global = np.array(_WORKER["w"], dtype=np.float64, copy=True)
     rng = derive_generator(entry["base_seed"], entry["client_id"], round_index)
-    return entry["solver"].solve(
+    if not timed:
+        return entry["solver"].solve(
+            entry["model"], entry["X"], entry["y"], w_global, rng
+        )
+    t_wall = time.time()
+    t0 = time.perf_counter()
+    result = entry["solver"].solve(
         entry["model"], entry["X"], entry["y"], w_global, rng
     )
+    timing = {
+        "duration": time.perf_counter() - t0,
+        "t_wall": t_wall,
+        "process": multiprocessing.current_process().name,
+        "client_id": entry["client_id"],
+    }
+    return result, timing
 
 
 class ProcessPoolClientExecutor(ClientExecutor):
@@ -184,11 +212,36 @@ class ProcessPoolClientExecutor(ClientExecutor):
         # Single-writer broadcast: all of last round's tasks finished
         # (their futures were awaited), so no worker is reading.
         self._w_view[...] = w_global
+        traced = telemetry.enabled
         futures = [
-            self._pool.submit(_run_task, slot, round_index) for slot in slots
+            self._pool.submit(_run_task, slot, round_index, traced)
+            for slot in slots
         ]
-        self.last_client_seconds = None
-        return [f.result() for f in futures]
+        if not traced:
+            self.last_client_seconds = None
+            return [f.result() for f in futures]
+        # Serialized-context parenting: the round span lives in this
+        # (coordinating) process; workers only report timings, and the
+        # external spans carry their process names for report keying.
+        parent = telemetry.current_span()
+        parent_id = parent.context()["span_id"] if parent is not None else None
+        results: List[LocalSolveResult] = []
+        seconds: List[float] = []
+        for future in futures:
+            result, timing = future.result()
+            telemetry.external_span(
+                "local_solve",
+                timing["duration"],
+                t_wall=timing["t_wall"],
+                parent_id=parent_id,
+                process=timing["process"],
+                client=timing["client_id"],
+                round=round_index,
+            )
+            results.append(result)
+            seconds.append(timing["duration"])
+        self.last_client_seconds = seconds
+        return results
 
     def close(self) -> None:
         if self._closed:

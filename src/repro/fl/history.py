@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import json
-from dataclasses import asdict, dataclass, field
+from dataclasses import asdict, dataclass, field, fields
 from typing import Dict, List, Optional, Sequence
 
 
@@ -24,6 +24,15 @@ class RoundRecord:
     #: the executor's ``local_solve`` spans; ``None`` when telemetry was
     #: off (histories written before this field existed load as ``None``)
     straggler_gap: Optional[float] = None
+    #: FedProx-style Γ̂ gradient-dissimilarity of the round's cohort
+    #: (Σ p̃ₙ‖∇Jₙ(w)‖² over ‖·‖² of the weighted mean norm); ``None`` in
+    #: histories written before repro.obs v2 added the estimate
+    grad_dissimilarity: Optional[float] = None
+
+
+#: the known RoundRecord field names; :meth:`TrainingHistory.from_dict`
+#: drops anything else so histories written by *newer* code still load
+_RECORD_FIELDS = frozenset(f.name for f in fields(RoundRecord))
 
 
 @dataclass
@@ -109,7 +118,14 @@ class TrainingHistory:
             config=dict(payload.get("config", {})),
         )
         for rec in payload.get("records", []):
-            history.append(RoundRecord(**rec))
+            # Forward tolerance, mirroring the old-file tolerance the
+            # optional fields give us: unknown keys (written by a newer
+            # version) are dropped instead of exploding the constructor.
+            history.append(
+                RoundRecord(
+                    **{k: v for k, v in rec.items() if k in _RECORD_FIELDS}
+                )
+            )
         return history
 
 

@@ -238,6 +238,31 @@ def build_client_pool(
     )
 
 
+def bind_monitor_theory(
+    monitors, *, beta: float, mu: float, L: float
+) -> None:
+    """Pin a monitor suite to the run's Theorem-1 constants.
+
+    θ comes from eq. (22) — the Lemma-1 equality point the §4.3
+    optimizer targets — via the authoritative ``core.theory`` form
+    (this module sits above ``core`` in the layering DAG, unlike the
+    monitors themselves).  Configurations outside Lemma 1's domain
+    (β ≤ 3, the injected-divergence CI demo being the canonical case)
+    leave the suite unbound, which degrades the Theorem-1 monitor to
+    its monotone-descent fallback.
+    """
+    from repro.core.theory import ProblemConstants, theta_from_beta
+    from repro.exceptions import InfeasibleParametersError
+
+    try:
+        theta = theta_from_beta(mu, beta, ProblemConstants(L=L, lam=0.0))
+    except InfeasibleParametersError:
+        return
+    if not 0.0 < theta < 1.0:
+        return
+    monitors.bind_theory(beta=beta, mu=mu, L=L, theta=theta)
+
+
 def run_federated(
     dataset: FederatedDataset,
     model_factory: Callable[[], Model],
@@ -245,6 +270,8 @@ def run_federated(
     *,
     w0: Optional[np.ndarray] = None,
     verbose: bool = False,
+    ledger=None,
+    monitors=None,
 ) -> Tuple[TrainingHistory, np.ndarray]:
     """Run one federated experiment end to end.
 
@@ -261,6 +288,16 @@ def run_federated(
     w0:
         Optional starting global model (defaults to the model's own
         initialization with ``config.seed``).
+    ledger:
+        Optional :class:`repro.obs.RunLedger`; receives the run
+        manifest up front, one committed record per round, and is
+        closed (with a ``completed`` / ``diverged`` / ``failed``
+        status) before this function returns.
+    monitors:
+        Optional :class:`repro.obs.MonitorSuite`; bound to the run's
+        (β, μ, L, θ) constants and attached to ``ledger`` so alerts
+        land there.  Pure observers — results are bit-identical with
+        or without them.
 
     Returns
     -------
@@ -359,9 +396,30 @@ def run_federated(
         "seed": config.seed,
         **{f"solver_{k}": v for k, v in config.solver_kwargs.items()},
     }
+    if ledger is not None:
+        ledger.write_manifest(
+            run_config,
+            entropy={
+                "seed": config.seed,
+                "init_seed": init_seed,
+                "server_seed": server_seed,
+            },
+            attrs={
+                "dataset": dataset.name,
+                "executor": config.executor,
+                "num_devices": dataset.num_devices,
+                "client_fraction": config.client_fraction,
+            },
+        )
+    if monitors is not None:
+        bind_monitor_theory(monitors, beta=config.beta, mu=config.mu, L=L)
+        if ledger is not None:
+            monitors.attach_ledger(ledger)
+
     # Simulated time (eq. (19)) is run-scoped: stamp every event this
     # run emits with the server clock's elapsed value.
     telemetry.attach_sim_clock(server.clock)
+    status = "failed"
     try:
         with telemetry.span(
             "run",
@@ -379,7 +437,12 @@ def run_federated(
                 config=run_config,
                 eval_every=config.eval_every,
                 verbose=verbose,
+                ledger=ledger,
+                monitors=monitors,
             )
+        status = "diverged" if history.diverged() else "completed"
     finally:
         executor.close()
+        if ledger is not None:
+            ledger.close(status)
     return history, w_final

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import statistics
 import time
+from dataclasses import asdict
 from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -34,7 +35,7 @@ from repro.fl.history import RoundRecord, TrainingHistory
 from repro.fl.metrics import global_accuracy, global_loss_and_gradient_norm
 from repro.fl.registry import ClientRegistry, EagerClientPool, LazyClientPool
 from repro.models.base import Model
-from repro.obs import telemetry
+from repro.obs import RoundObservation, telemetry
 from repro.utils.rng import SeedLike, as_generator, derive_generator
 from repro.utils.timing import SimulatedClock
 from repro.utils.validation import check_in_range, check_positive_int
@@ -182,6 +183,31 @@ class FederatedServer:
             for r in results
             if r.achieved_accuracy is not None and np.isfinite(r.achieved_accuracy)
         ]
+
+        # FedProx-style gradient dissimilarity Γ̂ over the round's cohort:
+        # Σ p̃ₙ gₙ² / (Σ p̃ₙ gₙ)² with gₙ = ‖∇Jₙ(w̄)‖ (already measured by
+        # every local solve) and p̃ the renormalized cohort weights.  A
+        # pure read of solver diagnostics — never touches RNG state or
+        # the aggregation arithmetic, so bit-identity on/off is
+        # structural.  Γ̂ ≈ 1 means IID-looking gradients; large values
+        # mean the σ̄² heterogeneity assumption is under strain.
+        grad_dissimilarity: Optional[float] = None
+        norms = np.array(
+            [r.start_grad_norm for r in results], dtype=np.float64
+        )
+        total_weight = float(weights.sum())
+        if np.all(np.isfinite(norms)) and total_weight > 0.0:
+            p = weights / total_weight
+            mean_norm = float(np.dot(p, norms))
+            den = mean_norm * mean_norm
+            if den == 0.0:
+                grad_dissimilarity = None
+            else:
+                grad_dissimilarity = float(np.dot(p, norms * norms)) / den
+                telemetry.gauge_set(
+                    "fl.round.grad_dissimilarity", grad_dissimilarity
+                )
+
         return {
             "w": w_new,
             "selected": selected,
@@ -192,6 +218,7 @@ class FederatedServer:
             ),
             "mean_achieved_theta": float(np.mean(thetas)) if thetas else None,
             "straggler_gap": straggler_gap,
+            "grad_dissimilarity": grad_dissimilarity,
         }
 
     def train(
@@ -204,6 +231,8 @@ class FederatedServer:
         config: Optional[dict] = None,
         eval_every: int = 1,
         verbose: bool = False,
+        ledger=None,
+        monitors=None,
     ) -> "tuple[TrainingHistory, np.ndarray]":
         """Run ``num_rounds`` global iterations from ``w0``.
 
@@ -212,6 +241,16 @@ class FederatedServer:
         Metrics are evaluated every ``eval_every`` rounds (and always on
         the final round).  Divergent runs (non-finite loss) stop early
         with the divergence recorded rather than raising.
+
+        ``ledger`` (a :class:`repro.obs.RunLedger`) durably commits one
+        record per round — a full :class:`RoundRecord` payload on
+        evaluated rounds, the cheap executor diagnostics otherwise.
+        ``monitors`` (a :class:`repro.obs.MonitorSuite`) sees every
+        round's :class:`repro.obs.RoundObservation`; in fail-fast mode
+        its :class:`repro.obs.MonitorFailFast` propagates out of this
+        method after the triggering round has been committed.  Both are
+        pure observers — no RNG or aggregation arithmetic depends on
+        them, so results are bit-identical with or without them.
         """
         check_positive_int("num_rounds", num_rounds)
         check_positive_int("eval_every", eval_every)
@@ -224,6 +263,7 @@ class FederatedServer:
         start = time.perf_counter()
         for s in range(1, num_rounds + 1):
             diverged = False
+            record: Optional[RoundRecord] = None
             with telemetry.span("round", s=s):
                 outcome = self.run_round(w, s)
                 w = outcome["w"]
@@ -238,22 +278,22 @@ class FederatedServer:
                         )
                         eval_clients, _ = self._eval_cohort()
                         acc = global_accuracy(self.eval_model, eval_clients, w)
-                    history.append(
-                        RoundRecord(
-                            round_index=s,
-                            train_loss=loss,
-                            grad_norm=grad_norm,
-                            test_accuracy=acc,
-                            sim_time=self.clock.elapsed,
-                            wall_time=time.perf_counter() - start,
-                            mean_local_steps=outcome["mean_local_steps"],
-                            mean_gradient_evaluations=outcome[
-                                "mean_gradient_evaluations"
-                            ],
-                            mean_achieved_theta=outcome["mean_achieved_theta"],
-                            straggler_gap=outcome["straggler_gap"],
-                        )
+                    record = RoundRecord(
+                        round_index=s,
+                        train_loss=loss,
+                        grad_norm=grad_norm,
+                        test_accuracy=acc,
+                        sim_time=self.clock.elapsed,
+                        wall_time=time.perf_counter() - start,
+                        mean_local_steps=outcome["mean_local_steps"],
+                        mean_gradient_evaluations=outcome[
+                            "mean_gradient_evaluations"
+                        ],
+                        mean_achieved_theta=outcome["mean_achieved_theta"],
+                        straggler_gap=outcome["straggler_gap"],
+                        grad_dissimilarity=outcome["grad_dissimilarity"],
                     )
+                    history.append(record)
                     if verbose:
                         print(
                             f"[{history.algorithm}] round {s:4d}  "
@@ -262,6 +302,41 @@ class FederatedServer:
                         )
                     diverged = not np.isfinite(loss)
             telemetry.round_finished(s)
+            if ledger is not None:
+                if record is not None:
+                    payload = asdict(record)
+                else:
+                    payload = {
+                        "round_index": s,
+                        "mean_local_steps": outcome["mean_local_steps"],
+                        "mean_gradient_evaluations": outcome[
+                            "mean_gradient_evaluations"
+                        ],
+                        "mean_achieved_theta": outcome["mean_achieved_theta"],
+                        "straggler_gap": outcome["straggler_gap"],
+                        "grad_dissimilarity": outcome["grad_dissimilarity"],
+                        "sim_time": self.clock.elapsed,
+                    }
+                ledger.commit_round(
+                    s,
+                    payload,
+                    evaluated=record is not None,
+                    sim_time=self.clock.elapsed,
+                )
+            if monitors is not None:
+                monitors.observe_round(
+                    RoundObservation(
+                        round_index=s,
+                        train_loss=record.train_loss if record else None,
+                        grad_norm=record.grad_norm if record else None,
+                        test_accuracy=record.test_accuracy if record else None,
+                        mean_achieved_theta=outcome["mean_achieved_theta"],
+                        straggler_gap=outcome["straggler_gap"],
+                        grad_dissimilarity=outcome["grad_dissimilarity"],
+                        sim_time=self.clock.elapsed,
+                        evaluated=record is not None,
+                    )
+                )
             if diverged:
                 break
         return history, w

@@ -17,9 +17,21 @@ Sinks
 Reporting
     :func:`repro.obs.report.render_report` renders a span-tree +
     hotspot summary from a JSONL trace (``repro obs-report``).
+Run ledger (v2)
+    :class:`RunLedger` / :class:`LedgerReader` — append-only,
+    crash-safe ``repro.ledger/v1`` JSONL with monotonic cursors.
+Runtime monitors (v2)
+    :class:`MonitorSuite` and the detectors behind
+    :func:`default_monitor_suite` (Theorem-1 contraction, θ drift,
+    σ̄² drift, divergence, straggler anomalies).
+Cross-run analytics (v2)
+    :func:`repro.obs.diff.diff_ledgers` /
+    :func:`repro.obs.diff.render_diff` (``repro obs-diff``).
 """
 
+from repro.obs.diff import diff_ledgers, render_diff
 from repro.obs.facade import SCHEMA, Telemetry, telemetry
+from repro.obs.ledger import LEDGER_SCHEMA, LedgerError, LedgerReader, RunLedger
 from repro.obs.metrics import (
     DEFAULT_TIME_BUCKETS,
     Counter,
@@ -34,9 +46,17 @@ from repro.obs.sinks import (
     Sink,
     StderrReporter,
 )
+from repro.obs.monitors import (
+    Alert,
+    MonitorFailFast,
+    MonitorSuite,
+    RoundObservation,
+    default_monitor_suite,
+)
 from repro.obs.trace import NOOP_SPAN, NoopSpan, Span, Tracer
 
 __all__ = [
+    "Alert",
     "CsvMetricsSink",
     "Counter",
     "DEFAULT_TIME_BUCKETS",
@@ -44,14 +64,24 @@ __all__ = [
     "Histogram",
     "InMemorySink",
     "JsonlSink",
+    "LEDGER_SCHEMA",
+    "LedgerError",
+    "LedgerReader",
     "MetricsRegistry",
+    "MonitorFailFast",
+    "MonitorSuite",
     "NOOP_SPAN",
     "NoopSpan",
+    "RoundObservation",
+    "RunLedger",
     "SCHEMA",
     "Sink",
     "Span",
     "StderrReporter",
     "Telemetry",
     "Tracer",
+    "default_monitor_suite",
+    "diff_ledgers",
+    "render_diff",
     "telemetry",
 ]

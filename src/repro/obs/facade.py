@@ -26,7 +26,7 @@ from typing import Any, Dict, Iterable, List, Optional, Sequence
 
 from repro.obs.metrics import DEFAULT_TIME_BUCKETS, MetricsRegistry
 from repro.obs.sinks import Sink
-from repro.obs.trace import NOOP_SPAN, Span, Tracer
+from repro.obs.trace import NOOP_SPAN, Span, Tracer, next_span_id
 
 __all__ = ["SCHEMA", "Telemetry", "telemetry"]
 
@@ -117,6 +117,49 @@ class Telemetry:
         if not self.enabled:
             return None
         return self.tracer.current()
+
+    def external_span(
+        self,
+        name: str,
+        duration: float,
+        *,
+        t_wall: float = 0.0,
+        parent_id: Optional[int] = None,
+        process: str = "",
+        thread: str = "",
+        **attrs: Any,
+    ) -> Optional[int]:
+        """Emit a span measured in another process (or otherwise outside
+        this tracer), allocating its id parent-side.
+
+        Forked pool workers inherit a copy of the span-id counter, so
+        letting workers allocate ids would collide across processes;
+        instead workers ship raw timings home and the coordinator calls
+        this with the serialized parent context's ``span_id`` (see
+        :meth:`Span.context`).  ``process`` names the measuring process
+        and lands in the event's ``process`` field so report tooling
+        can key span ids per process.  Returns the allocated span id,
+        or ``None`` while disabled.
+        """
+        if not self.enabled:
+            return None
+        span_id = next_span_id()
+        event: Dict[str, Any] = {
+            "type": "span",
+            "name": name,
+            "span_id": span_id,
+            "parent_id": parent_id,
+            "t_wall": float(t_wall),
+            "duration": float(duration),
+            "thread": thread or threading.current_thread().name,
+            "attrs": attrs,
+        }
+        if process:
+            event["process"] = process
+        event["sim_time"] = self.sim_time()
+        self.tracer.note_finished()
+        self._emit(event)
+        return span_id
 
     # -- metrics ------------------------------------------------------
 

@@ -13,7 +13,7 @@ from __future__ import annotations
 import json
 from typing import Any, Dict, Iterable, List, Optional, Tuple
 
-__all__ = ["render_report"]
+__all__ = ["render_ledger_report", "render_report"]
 
 
 def load_events(path: str) -> List[Dict[str, Any]]:
@@ -38,16 +38,52 @@ def _span_events(events: Iterable[Dict[str, Any]]) -> List[Dict[str, Any]]:
     return [e for e in events if e.get("type") == "span"]
 
 
-def _name_path(span: Dict[str, Any], by_id: Dict[int, Dict[str, Any]]) -> Tuple[str, ...]:
+#: composite key: span ids are only unique *within* a process (forked
+#: workers inherit the parent's id counter), so all id-based lookups key
+#: by ``(process, span_id)``; the coordinating process has ``process == ""``
+SpanKey = Tuple[str, Optional[int]]
+
+
+def _span_key(span: Dict[str, Any]) -> SpanKey:
+    return (span.get("process", "") or "", span.get("span_id"))
+
+
+def _parent_key(
+    span: Dict[str, Any], by_id: Dict[SpanKey, Dict[str, Any]]
+) -> Optional[SpanKey]:
+    """Resolve a span's parent key, cross-process aware.
+
+    A worker-process span's ``parent_id`` usually names a span in the
+    coordinating process (explicit serialized-context parenting), so if
+    the id is unknown within the child's own process, fall back to the
+    coordinator's (``""``) namespace.
+    """
+    parent_id = span.get("parent_id")
+    if parent_id is None:
+        return None
+    own = (span.get("process", "") or "", parent_id)
+    # A span is never its own parent: a worker whose *local* id happens
+    # to equal the coordinator parent's id must not resolve to itself.
+    if own in by_id and own != _span_key(span):
+        return own
+    home = ("", parent_id)
+    if home in by_id and home != _span_key(span):
+        return home
+    return None
+
+
+def _name_path(
+    span: Dict[str, Any], by_id: Dict[SpanKey, Dict[str, Any]]
+) -> Tuple[str, ...]:
     """Ancestor name chain root-first, e.g. ``("run", "round", "eval")``."""
     path = [span.get("name", "?")]
-    seen = {span.get("span_id")}
-    parent_id = span.get("parent_id")
-    while parent_id is not None and parent_id in by_id and parent_id not in seen:
-        seen.add(parent_id)
-        parent = by_id[parent_id]
+    seen = {_span_key(span)}
+    parent_key = _parent_key(span, by_id)
+    while parent_key is not None and parent_key not in seen:
+        seen.add(parent_key)
+        parent = by_id[parent_key]
         path.append(parent.get("name", "?"))
-        parent_id = parent.get("parent_id")
+        parent_key = _parent_key(parent, by_id)
     return tuple(reversed(path))
 
 
@@ -60,7 +96,7 @@ def aggregate_tree(
     by path (so parents precede children when rendered in order).
     """
     spans = _span_events(events)
-    by_id = {s.get("span_id"): s for s in spans}
+    by_id = {_span_key(s): s for s in spans}
     agg: Dict[Tuple[str, ...], Dict[str, float]] = {}
     for span in spans:
         path = _name_path(span, by_id)
@@ -76,19 +112,26 @@ def aggregate_tree(
 def top_hotspots(
     events: Iterable[Dict[str, Any]], k: int = 10
 ) -> List[Dict[str, Any]]:
-    """Span names ranked by total self time (duration − direct children)."""
+    """Span names ranked by total self time (duration − direct children).
+
+    Aggregation is by span *name* across every process and thread in
+    the trace — ids only serve to subtract direct-child time, keyed per
+    process so an mp-executor trace (where worker spans parent into the
+    coordinator's round span) still reports coherent hotspots.
+    """
     spans = _span_events(events)
-    child_time: Dict[Optional[int], float] = {}
+    by_id = {_span_key(s): s for s in spans}
+    child_time: Dict[SpanKey, float] = {}
     for span in spans:
-        parent_id = span.get("parent_id")
-        if parent_id is not None:
-            child_time[parent_id] = child_time.get(parent_id, 0.0) + float(
+        parent_key = _parent_key(span, by_id)
+        if parent_key is not None:
+            child_time[parent_key] = child_time.get(parent_key, 0.0) + float(
                 span.get("duration", 0.0)
             )
     self_time: Dict[str, Dict[str, float]] = {}
     for span in spans:
         dur = float(span.get("duration", 0.0))
-        own = max(0.0, dur - child_time.get(span.get("span_id"), 0.0))
+        own = max(0.0, dur - child_time.get(_span_key(span), 0.0))
         node = self_time.setdefault(
             span.get("name", "?"), {"count": 0, "self": 0.0, "total": 0.0}
         )
@@ -129,6 +172,71 @@ def render_hotspots(events: Iterable[Dict[str, Any]], k: int = 10) -> str:
             f"{int(row['count']):7d}  {row['name']}"
         )
     return "\n".join(lines)
+
+
+def render_ledger_report(path: str, *, top: int = 10) -> str:
+    """Full ``obs-report --ledger`` output for one ``repro.ledger/v1`` file."""
+    from repro.obs.ledger import LedgerReader
+
+    reader = LedgerReader(path)
+    errors = reader.validate()
+    manifest = reader.manifest or {}
+    rounds = reader.rounds()
+    alerts = reader.alerts()
+    lines: List[str] = [
+        f"ledger: {path}",
+        f"schema: {manifest.get('schema', '(no manifest)')}  "
+        f"run: {manifest.get('run_id', '?')}  "
+        f"status: {reader.status or '(no end event; crashed?)'}",
+    ]
+    if errors:
+        lines.append("VALIDATION ERRORS:")
+        lines.extend(f"  {e}" for e in errors)
+    config = manifest.get("config", {})
+    if config:
+        rendered = ", ".join(f"{k}={config[k]!r}" for k in sorted(config))
+        lines.append(f"config: {rendered}")
+    resume = reader.resume_point()
+    lines.append(
+        f"rounds committed: {len(rounds)}  last cursor: {resume['cursor']}  "
+        f"next round on resume: {resume['next_round']}"
+        + ("  [torn final line dropped]" if resume["truncated"] else "")
+    )
+    if rounds:
+        fields = ["train_loss", "grad_norm", "test_accuracy",
+                  "mean_achieved_theta", "grad_dissimilarity"]
+        lines.append(
+            f"  {'round':>6} " + " ".join(f"{f:>18}" for f in fields)
+        )
+        for event in rounds:
+            record = event.get("record", {})
+            cells = []
+            for field in fields:
+                value = record.get(field)
+                cells.append(
+                    f"{value:>18.6g}" if isinstance(value, (int, float))
+                    else f"{'-':>18}"
+                )
+            lines.append(f"  {event['round']:>6} " + " ".join(cells))
+    lines.append(f"alerts: {len(alerts)}")
+    for alert in alerts:
+        lines.append(
+            f"  round {alert.get('round')}: [{alert.get('severity')}] "
+            f"{alert.get('monitor')}: {alert.get('message')}"
+        )
+    snapshots = reader.by_type("hotspots")
+    if snapshots:
+        spans = sorted(
+            snapshots[-1].get("spans", []),
+            key=lambda s: -float(s.get("self_seconds", 0.0)),
+        )[: max(0, int(top))]
+        lines.append("hotspots (last snapshot, self time):")
+        for span in spans:
+            lines.append(
+                f"  {float(span.get('self_seconds', 0.0)):9.4f}s  "
+                f"{span.get('name', '?')}"
+            )
+    return "\n".join(lines) + "\n"
 
 
 def render_report(path: str, *, top: int = 10) -> str:

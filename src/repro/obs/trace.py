@@ -22,11 +22,24 @@ import threading
 import time
 from typing import Any, Callable, Dict, List, Optional
 
-__all__ = ["NOOP_SPAN", "NoopSpan", "Span", "Tracer"]
+__all__ = ["NOOP_SPAN", "NoopSpan", "Span", "Tracer", "next_span_id"]
 
 #: process-wide span-id source; ``next()`` on :func:`itertools.count` is
 #: atomic under the GIL, so ids are unique across threads without a lock.
 _span_ids = itertools.count(1)
+
+
+def next_span_id() -> int:
+    """Allocate a fresh span id from the process-wide counter.
+
+    Used for *external* spans — work measured in another process and
+    reported back.  A forked worker inherits a copy of the counter, so
+    worker-side allocation would collide with the parent's ids; the
+    contract is therefore that only the coordinating (parent) process
+    allocates ids, stamping worker-measured timings on emit (see
+    :meth:`repro.obs.facade.Telemetry.external_span`).
+    """
+    return next(_span_ids)
 
 
 class Span:
@@ -75,6 +88,16 @@ class Span:
     def set_attribute(self, key: str, value: Any) -> None:
         """Attach one attribute (overwrites an existing key)."""
         self.attrs[key] = value
+
+    def context(self) -> Dict[str, Any]:
+        """Serializable parenting context for cross-process spans.
+
+        Small and picklable by construction, so it can ride along with
+        task arguments into a process-pool worker; the parent side
+        later passes ``context()["span_id"]`` as the ``parent_id`` of
+        the external span it emits for that worker's timing.
+        """
+        return {"span_id": self.span_id, "name": self.name}
 
     def __enter__(self) -> "Span":
         parent = self._explicit_parent
@@ -134,6 +157,9 @@ class NoopSpan:
     def set_attribute(self, key: str, value: Any) -> None:
         return None
 
+    def context(self) -> Dict[str, Any]:
+        return {"span_id": 0, "name": ""}
+
 
 NOOP_SPAN = NoopSpan()
 
@@ -184,3 +210,8 @@ class Tracer:
             self.finished_count += 1
         if self._on_finish is not None:
             self._on_finish(span)
+
+    def note_finished(self) -> None:
+        """Count an externally-recorded span toward :attr:`finished_count`."""
+        with self._count_lock:
+            self.finished_count += 1

@@ -5,6 +5,7 @@ import pytest
 
 from repro.backend.shm import ArraySpec, ShmArena, attach_array
 from repro.exceptions import ConfigurationError
+from repro.obs import InMemorySink, telemetry
 
 
 class TestArraySpec:
@@ -158,3 +159,45 @@ class TestShmLifecycle:
         arena.close()  # second close after teardown must stay silent
         with pytest.raises(FileNotFoundError):
             attach_array(spec)
+
+
+class TestShmCounters:
+    """Segment-lifecycle counters: created must reconcile with unlinked."""
+
+    def _counters(self):
+        snap = telemetry.metrics.snapshot()
+        return {
+            name: snap.get(f"backend.shm.{name}", {}).get("total", 0)
+            for name in ("created", "attached", "unlinked")
+        }
+
+    def test_counters_track_lifecycle(self):
+        telemetry.configure([InMemorySink()])
+        try:
+            with ShmArena() as arena:
+                spec = arena.put(np.ones(3))
+                arena.create((4,))
+                _, handle = attach_array(spec)
+                handle.close()
+                _, handle = attach_array(spec)
+                handle.close()
+            counts = self._counters()
+        finally:
+            telemetry.shutdown()
+        assert counts["created"] == 2
+        assert counts["attached"] == 2
+        # no leaks: everything created was unlinked at close
+        assert counts["unlinked"] == counts["created"]
+
+    def test_counters_silent_when_disabled(self):
+        assert not telemetry.enabled
+        with ShmArena() as arena:
+            spec = arena.put(np.ones(2))
+            _, handle = attach_array(spec)
+            handle.close()
+        telemetry.configure([InMemorySink()])
+        try:
+            snap = telemetry.metrics.snapshot()
+        finally:
+            telemetry.shutdown()
+        assert "backend.shm.created" not in snap

@@ -156,3 +156,68 @@ class TestProcessPoolExecutor:
         expected = SequentialExecutor().run_round(clients[2:5], w0, 3)
         for rp, rs in zip(got, expected):
             np.testing.assert_array_equal(rp.w_local, rs.w_local)
+
+    def test_traced_run_emits_parented_external_spans(self, tiny_dataset):
+        from repro.fl.executor_mp import ProcessPoolClientExecutor
+        from repro.obs import InMemorySink, telemetry
+
+        clients = make_clients(tiny_dataset, share_model=False)
+        w0 = clients[0].model.init_parameters(0)
+        sink = InMemorySink()
+        telemetry.configure([sink])
+        try:
+            with ProcessPoolClientExecutor(max_workers=2) as pool:
+                with telemetry.span("round", s=1) as round_span:
+                    pool.run_round(clients, w0, 1)
+                    round_id = round_span.context()["span_id"]
+                seconds = pool.last_client_seconds
+        finally:
+            telemetry.shutdown()
+        solves = [
+            e for e in sink.by_type("span") if e["name"] == "local_solve"
+        ]
+        assert len(solves) == len(clients)
+        for span in solves:
+            # worker timings come home as external spans: parented on
+            # the coordinator's round span, tagged with the worker's
+            # process name, ids allocated parent-side (no collisions)
+            assert span["parent_id"] == round_id
+            assert span["process"]
+            assert span["duration"] > 0.0
+        ids = [e["span_id"] for e in sink.by_type("span")]
+        assert len(set(ids)) == len(ids)
+        assert seconds is not None and len(seconds) == len(clients)
+
+    def test_untraced_run_reports_no_client_seconds(self, tiny_dataset):
+        from repro.fl.executor_mp import ProcessPoolClientExecutor
+        from repro.obs import telemetry
+
+        assert not telemetry.enabled
+        clients = make_clients(tiny_dataset, share_model=False)
+        w0 = clients[0].model.init_parameters(0)
+        with ProcessPoolClientExecutor(max_workers=2) as pool:
+            pool.run_round(clients, w0, 1)
+            assert pool.last_client_seconds is None
+
+
+class TestBatchedCohortTracing:
+    def test_cohort_solve_span_carries_group_signature(self, tiny_dataset):
+        from repro.fl.executor import BatchedCohortExecutor
+        from repro.obs import InMemorySink, telemetry
+
+        clients = make_clients(tiny_dataset)
+        w0 = clients[0].model.init_parameters(0)
+        sink = InMemorySink()
+        telemetry.configure([sink])
+        try:
+            BatchedCohortExecutor().run_round(clients, w0, 1)
+        finally:
+            telemetry.shutdown()
+        cohorts = [
+            e for e in sink.by_type("span") if e["name"] == "cohort_solve"
+        ]
+        assert cohorts, "homogeneous MLR cohort must take the batched path"
+        for span in cohorts:
+            signature = span["attrs"]["signature"]
+            assert "/B=" in signature  # "<arch-sig>/B=<effective-batch>"
+            assert span["attrs"]["cohort_size"] >= 1

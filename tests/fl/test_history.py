@@ -98,6 +98,36 @@ class TestTrainingHistory:
         back = TrainingHistory.from_dict(payload)
         assert all(r.straggler_gap is None for r in back.records)
 
+    def test_grad_dissimilarity_roundtrips_through_json(self, tmp_path):
+        h = TrainingHistory("fedavg", "toy")
+        r = record(1, 1.0)
+        r.grad_dissimilarity = 1.25
+        h.append(r)
+        path = tmp_path / "hist.json"
+        h.to_json(str(path))
+        back = TrainingHistory.from_dict(json.loads(path.read_text()))
+        assert back.records[0].grad_dissimilarity == 1.25
+        assert back.series("grad_dissimilarity") == [1.25]
+
+    def test_loads_pre_v2_files_without_grad_dissimilarity(self):
+        h = self.make()
+        payload = h.to_dict()
+        for rec in payload["records"]:
+            del rec["grad_dissimilarity"]
+        back = TrainingHistory.from_dict(payload)
+        assert all(r.grad_dissimilarity is None for r in back.records)
+
+    def test_ignores_unknown_record_keys_from_future_versions(self):
+        # forward tolerance: a newer writer may add fields this reader
+        # does not know; loading must drop them instead of crashing
+        h = self.make()
+        payload = h.to_dict()
+        for rec in payload["records"]:
+            rec["a_future_field"] = 42
+        back = TrainingHistory.from_dict(payload)
+        assert back.series("train_loss") == h.series("train_loss")
+        assert not hasattr(back.records[0], "a_future_field")
+
 
 class TestFormatComparison:
     def test_contains_all_algorithms(self):

@@ -14,9 +14,16 @@ import pytest
 
 from repro.fl.runner import FederatedRunConfig, run_federated
 from repro.models import make_mlp_model
-from repro.obs import InMemorySink, JsonlSink, telemetry
+from repro.obs import (
+    InMemorySink,
+    JsonlSink,
+    LedgerReader,
+    RunLedger,
+    default_monitor_suite,
+    telemetry,
+)
 from repro.obs.report import render_report
-from tests.obs.schema_validator import validate_file
+from tests.obs.schema_validator import validate_file, validate_ledger_file
 
 
 def _config(**overrides):
@@ -121,6 +128,83 @@ class TestDisabledRunUnchanged:
             telemetry.shutdown()
         np.testing.assert_array_equal(w_off, w_on)
         assert history_off.series("train_loss") == history_on.series("train_loss")
+
+
+class TestLedgeredRun:
+    def _run(self, dataset, factory, tmp_path, **config_overrides):
+        path = tmp_path / "run.ledger.jsonl"
+        ledger = RunLedger(str(path))
+        monitors = default_monitor_suite()
+        history, w = run_federated(
+            dataset, factory, _config(**config_overrides),
+            ledger=ledger, monitors=monitors,
+        )
+        return history, w, str(path), monitors
+
+    def test_ledger_validates_and_mirrors_history(
+        self, tiny_dataset, tiny_model_factory, tmp_path
+    ):
+        history, _, path, monitors = self._run(
+            tiny_dataset, tiny_model_factory, tmp_path
+        )
+        assert validate_ledger_file(path) == []
+        reader = LedgerReader(str(path))
+        assert reader.validate() == []
+        assert reader.status == "completed"
+        rounds = reader.rounds()
+        assert [e["round"] for e in rounds] == [1, 2, 3, 4]
+        assert [e["record"]["train_loss"] for e in rounds] == (
+            history.series("train_loss")
+        )
+        # a healthy tiny run must be alert-silent
+        assert monitors.alerts == []
+        assert reader.alerts() == []
+        # manifest records the resolved config and RNG entropy
+        manifest = reader.manifest
+        assert manifest["config"]["algorithm"] == "fedproxvr-sarah"
+        assert set(manifest["entropy"]) >= {"seed"}
+
+    def test_grad_dissimilarity_committed_each_round(
+        self, tiny_dataset, tiny_model_factory, tmp_path
+    ):
+        history, _, path, _ = self._run(
+            tiny_dataset, tiny_model_factory, tmp_path
+        )
+        for event in LedgerReader(path).rounds():
+            gamma = event["record"]["grad_dissimilarity"]
+            assert gamma is not None and gamma >= 1.0  # Jensen: Γ̂ ≥ 1
+        assert history.records[0].grad_dissimilarity == (
+            LedgerReader(path).rounds()[0]["record"]["grad_dissimilarity"]
+        )
+
+    def test_unevaluated_rounds_commit_light_records(
+        self, tiny_dataset, tiny_model_factory, tmp_path
+    ):
+        _, _, path, _ = self._run(
+            tiny_dataset, tiny_model_factory, tmp_path, eval_every=2
+        )
+        reader = LedgerReader(path)
+        by_round = {e["round"]: e for e in reader.rounds()}
+        assert set(by_round) == {1, 2, 3, 4}
+        assert not by_round[1]["evaluated"]
+        assert by_round[2]["evaluated"]
+        assert "train_loss" not in by_round[1]["record"]
+        assert "train_loss" in by_round[2]["record"]
+
+    def test_bit_identical_with_ledger_and_monitors_on(
+        self, tiny_dataset, tiny_model_factory, tmp_path
+    ):
+        history_off, w_off = run_federated(
+            tiny_dataset, tiny_model_factory, _config()
+        )
+        _, w_on, _, _ = self._run(tiny_dataset, tiny_model_factory, tmp_path)
+        np.testing.assert_array_equal(w_off, w_on)
+        assert history_off.series("train_loss") == [
+            e["record"]["train_loss"]
+            for e in LedgerReader(
+                str(tmp_path / "run.ledger.jsonl")
+            ).rounds()
+        ]
 
 
 class TestThreadExecutorRun:

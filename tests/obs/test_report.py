@@ -6,20 +6,25 @@ import json
 
 import pytest
 
+from repro.obs.ledger import RunLedger
 from repro.obs.report import (
     aggregate_tree,
     load_events,
+    render_ledger_report,
     render_report,
     top_hotspots,
 )
 
 
-def _span(span_id, parent_id, name, duration, **attrs):
-    return {
+def _span(span_id, parent_id, name, duration, process=None, **attrs):
+    event = {
         "type": "span", "name": name, "span_id": span_id,
         "parent_id": parent_id, "t_wall": 0.0, "duration": duration,
         "thread": "MainThread", "attrs": attrs, "sim_time": None,
     }
+    if process is not None:
+        event["process"] = process
+    return event
 
 
 @pytest.fixture()
@@ -84,6 +89,85 @@ class TestHotspots:
 
     def test_k_limits_rows(self, trace_file):
         assert len(top_hotspots(load_events(trace_file), 1)) == 1
+
+
+class TestCrossProcessSpans:
+    """Span ids are only unique per process (forked workers inherit the
+    parent's counter); the report must key by (process, span_id)."""
+
+    def _mp_trace(self):
+        # Coordinator: run(1) > round(2).  Two workers whose *local*
+        # span ids collide with the coordinator's (both reuse id 2 for
+        # their own spans), parenting into coordinator span 2.
+        return [
+            _span(1, None, "run", 1.0),
+            _span(2, 1, "round", 0.9),
+            _span(2, 2, "local_solve", 0.4, process="Worker-1"),
+            _span(2, 2, "local_solve", 0.3, process="Worker-2"),
+        ]
+
+    def test_colliding_ids_do_not_merge_across_processes(self):
+        agg = aggregate_tree(self._mp_trace())
+        assert agg[("run", "round", "local_solve")]["count"] == 2
+        assert agg[("run", "round", "local_solve")]["total"] == pytest.approx(0.7)
+        # the coordinator's round span is not confused with worker id 2
+        assert agg[("run", "round")]["count"] == 1
+
+    def test_worker_parent_resolves_to_coordinator_namespace(self):
+        # Worker span's parent_id=2 is unknown in its own process, so
+        # it must fall back to the coordinator's ("", 2) round span.
+        rows = {r["name"]: r for r in top_hotspots(self._mp_trace(), 10)}
+        # round self time = 0.9 - (0.4 + 0.3): worker children subtract
+        assert rows["round"]["self"] == pytest.approx(0.2)
+        assert rows["local_solve"]["self"] == pytest.approx(0.7)
+
+    def test_hotspots_aggregate_by_name_across_processes(self):
+        rows = top_hotspots(self._mp_trace(), 10)
+        names = [r["name"] for r in rows]
+        assert names.count("local_solve") == 1  # one row, both processes
+
+
+class TestRenderLedgerReport:
+    def _ledger(self, tmp_path, *, alerts=0):
+        path = tmp_path / "run.ledger.jsonl"
+        ledger = RunLedger(str(path), fsync=False)
+        ledger.write_manifest({"algorithm": "fedavg", "tau": 5})
+        ledger.commit_round(
+            1,
+            {"round_index": 1, "train_loss": 2.5, "grad_norm": 0.5,
+             "grad_dissimilarity": 1.08},
+            sim_time=1.0,
+        )
+        for _ in range(alerts):
+            ledger.alert(1, "divergence", "loss is non-finite: nan")
+        ledger.hotspots(
+            [{"name": "local_solve", "self_seconds": 0.1,
+              "total_seconds": 0.1, "count": 4}]
+        )
+        ledger.close()
+        return str(path)
+
+    def test_contains_sections(self, tmp_path):
+        text = render_ledger_report(self._ledger(tmp_path))
+        assert "repro.ledger/v1" in text
+        assert "status: completed" in text
+        assert "algorithm='fedavg'" in text
+        assert "grad_dissimilarity" in text
+        assert "1.08" in text
+        assert "alerts: 0" in text
+        assert "hotspots" in text and "local_solve" in text
+
+    def test_renders_alerts(self, tmp_path):
+        text = render_ledger_report(self._ledger(tmp_path, alerts=1))
+        assert "alerts: 1" in text
+        assert "[error] divergence" in text
+
+    def test_flags_torn_tail(self, tmp_path):
+        path = self._ledger(tmp_path)
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"type": "round", "curs')
+        text = render_ledger_report(path)
+        assert "[torn final line dropped]" in text
 
 
 class TestRenderReport:

@@ -45,6 +45,39 @@ class TestValidateEvent:
         span["duration"] = -0.5
         assert any("negative" in e for e in sv.validate_event(span))
 
+    def test_unregistered_span_name_flagged(self):
+        span = _valid_span()
+        span["name"] = "my_new_span"
+        errors = sv.validate_event(span)
+        assert any("unregistered span name" in e for e in errors)
+
+    def test_process_field_allowed_on_spans(self):
+        span = _valid_span()
+        span["name"] = "local_solve"
+        span["process"] = "ForkProcess-1"
+        assert sv.validate_event(span) == []
+
+    def test_unregistered_metric_name_flagged(self):
+        event = {
+            "type": "round_metrics", "round": 1, "sim_time": None,
+            "metrics": {
+                "fl.surprise.metric": {"kind": "counter", "total": 1.0},
+            },
+        }
+        errors = sv.validate_event(event)
+        assert any("unregistered metric name" in e for e in errors)
+
+    def test_keyed_metric_id_resolves_to_base_name(self):
+        event = {
+            "type": "round_metrics", "round": 1, "sim_time": None,
+            "metrics": {
+                "obs.monitor.alerts{divergence}": {
+                    "kind": "counter", "total": 1.0,
+                },
+            },
+        }
+        assert sv.validate_event(event) == []
+
     def test_histogram_shape_checked(self):
         event = {
             "type": "round_metrics", "round": 1, "sim_time": None,

@@ -240,6 +240,41 @@ class TestMacroBenchSmoke:
         # ... and the smoke artifact gates cleanly against itself.
         assert perfgate_main([str(out), "--baseline", str(out)]) == 0
 
+    def test_ledger_dir_emits_per_cell_ledgers(self, tmp_path):
+        from repro.obs.diff import diff_ledgers
+        from repro.obs.ledger import LedgerReader
+        from tools.perfbench import main as perfbench_main
+
+        ledger_dir = tmp_path / "ledgers"
+        rc = perfbench_main([
+            "--devices", "8", "--samples", "320", "--rounds", "1",
+            "--repeat", "1", "--ledger-dir", str(ledger_dir),
+        ])
+        assert rc == 0
+        names = sorted(p.name for p in ledger_dir.iterdir())
+        assert names == sorted(
+            f"{algo}.{execu}.ledger.jsonl"
+            for algo in ("fedavg", "fedproxvr-svrg", "fedproxvr-sarah")
+            for execu in ("sequential", "batched")
+        )
+        reader = LedgerReader(str(ledger_dir / "fedavg.batched.ledger.jsonl"))
+        assert reader.validate() == []
+        manifest = reader.manifest
+        assert manifest["attrs"]["perfbench"] is True
+        assert manifest["attrs"]["executor"] == "batched"
+        assert manifest["attrs"]["wall_seconds"] > 0
+        assert reader.rounds()  # per-round records from the history
+        assert reader.by_type("hotspots")  # the drill-down payload
+        # the executor pair diffs cleanly: bit-identical metrics, and a
+        # structural span swap must not read as a regression
+        result = diff_ledgers(
+            str(ledger_dir / "fedavg.sequential.ledger.jsonl"),
+            str(ledger_dir / "fedavg.batched.ledger.jsonl"),
+        )
+        assert result["shared_rounds"] >= 1
+        assert result["metrics"]["train_loss"]["delta"] == 0.0
+        assert result["same_source"] is True
+
     def test_client_scaling_smoke(self, tmp_path):
         from tools.perfbench import main as perfbench_main
 

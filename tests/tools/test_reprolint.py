@@ -697,6 +697,19 @@ class TestConfig:
         assert config.layer_of("repro.unmapped_new_module") == 99
         assert config.layer_of("numpy.random") is None
 
+    def test_obs_v2_modules_pinned_at_layer_zero(self):
+        # The ledger/monitor/diff modules must stay stdlib-only at the
+        # bottom of the DAG: the Theorem-1 monitor deliberately
+        # re-implements core.theory's factor instead of importing it.
+        config = load_config(REPO_ROOT / "pyproject.toml")
+        for module in (
+            "repro.obs.ledger",
+            "repro.obs.monitors",
+            "repro.obs.diff",
+        ):
+            assert config.layers[module] == 0
+            assert config.layer_of(module) == 0
+
     def test_disabled_family_skips_rules(self, tmp_path):
         config = make_tree(
             tmp_path, {"src/repro/core/bad.py": "from repro.fl import server\n"}

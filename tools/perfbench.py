@@ -32,10 +32,12 @@ from __future__ import annotations
 import argparse
 import json
 import multiprocessing
+import os
 import platform
 import sys
 import time
 import tracemalloc
+from dataclasses import asdict
 from typing import Dict, List, Optional
 
 import numpy as np
@@ -159,9 +161,14 @@ def run_workload(
 
 
 def capture_hotspots(
-    workload, algorithm: str, mu: float, solver_kwargs=None, k: int = 8
+    workload,
+    algorithm: str,
+    mu: float,
+    solver_kwargs=None,
+    k: int = 8,
+    executor: str = "batched",
 ) -> List[dict]:
-    """Top self-time spans of one traced batched run."""
+    """Top self-time spans of one traced run (default: batched)."""
     from repro.obs import telemetry
     from repro.obs.report import top_hotspots
     from repro.obs.sinks import InMemorySink
@@ -169,10 +176,60 @@ def capture_hotspots(
     sink = InMemorySink()
     telemetry.configure([sink])
     try:
-        run_workload(workload, algorithm, mu, "batched", solver_kwargs=solver_kwargs)
+        run_workload(workload, algorithm, mu, executor, solver_kwargs=solver_kwargs)
     finally:
         telemetry.shutdown()
     return top_hotspots(sink.events, k=k)
+
+
+def emit_run_ledger(
+    path: str,
+    workload: Dict[str, object],
+    algorithm: str,
+    executor: str,
+    seconds: float,
+    history,
+    hotspots: Optional[List[dict]] = None,
+) -> None:
+    """Write one macro-bench cell as a ``repro.ledger/v1`` file.
+
+    The BENCH_*.json artifact commits only the speedup *ratios*; the
+    ledger is the drill-down behind them — the run's resolved config,
+    its per-round records, and (when captured) the span self-time
+    hotspots that ``repro obs-diff`` aligns across executors or
+    commits to explain a gate failure.
+    """
+    from repro.obs import RunLedger
+
+    ledger = RunLedger(path)
+    ledger.write_manifest(
+        dict(history.config),
+        attrs={
+            "perfbench": True,
+            "algorithm": algorithm,
+            "executor": executor,
+            "wall_seconds": round(seconds, 4),
+            "workload": dict(workload),
+        },
+    )
+    for rec in history.records:
+        ledger.commit_round(
+            rec.round_index, asdict(rec), sim_time=rec.sim_time
+        )
+    if hotspots:
+        ledger.hotspots(
+            [
+                {
+                    "name": h["name"],
+                    "self_seconds": h["self"],
+                    "total_seconds": h["total"],
+                    "count": h["count"],
+                }
+                for h in hotspots
+            ],
+            label=f"{algorithm}/{executor}",
+        )
+    ledger.close("completed")
 
 
 def scaling_cell(
@@ -349,12 +406,15 @@ def run_bench(args) -> Dict[str, object]:
 def run_macro(workload: Dict[str, object], args) -> Dict[str, object]:
     dataset = make_dataset(workload)
     results: Dict[str, dict] = {}
+    ledger_dir = getattr(args, "ledger_dir", None)
+    if ledger_dir:
+        os.makedirs(ledger_dir, exist_ok=True)
     for algorithm, mu, solver_kwargs in ALGOS:
-        seq_seconds, _, w_seq = run_workload(
+        seq_seconds, h_seq, w_seq = run_workload(
             workload, algorithm, mu, "sequential",
             dataset=dataset, solver_kwargs=solver_kwargs, repeat=args.repeat,
         )
-        bat_seconds, _, w_bat = run_workload(
+        bat_seconds, h_bat, w_bat = run_workload(
             workload, algorithm, mu, "batched",
             dataset=dataset, solver_kwargs=solver_kwargs, repeat=args.repeat,
         )
@@ -370,6 +430,26 @@ def run_macro(workload: Dict[str, object], args) -> Dict[str, object]:
             f"batched {bat_seconds:7.2f}s   speedup {seq_seconds / bat_seconds:5.2f}x"
             f"   bit-identical: {identical}"
         )
+        if ledger_dir:
+            # One extra traced run per cell pays for the drill-down:
+            # each ledger carries the cell's hotspot profile so
+            # ``repro obs-diff`` can attribute a speedup (or a gate
+            # failure) to specific spans, not just the total.
+            for executor, seconds, history in (
+                ("sequential", seq_seconds, h_seq),
+                ("batched", bat_seconds, h_bat),
+            ):
+                spots = capture_hotspots(
+                    workload, algorithm, mu, solver_kwargs, executor=executor
+                )
+                path = os.path.join(
+                    ledger_dir, f"{algorithm}.{executor}.ledger.jsonl"
+                )
+                emit_run_ledger(
+                    path, workload, algorithm, executor, seconds, history,
+                    hotspots=spots,
+                )
+                print(f"  ledger: {path}")
     speedups = [r["speedup"] for r in results.values()]
     section: Dict[str, object] = {
         "results": results,
@@ -401,6 +481,11 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="write the JSON artifact here")
     parser.add_argument("--hotspots", action="store_true",
                         help="record top self-time spans of a traced batched run")
+    parser.add_argument("--ledger-dir", default=None,
+                        help="also emit one repro.ledger/v1 file per "
+                             "(algorithm, executor) macro cell into this "
+                             "directory (config manifest, round records, "
+                             "hotspot snapshot) for repro obs-diff")
     parser.add_argument("--client-scaling", action="store_true",
                         help="also run the massive-cohort scaling axis "
                              "(virtual clients, lazy shards)")
